@@ -1,0 +1,73 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! transpose layout, batching, stream concurrency, kernel fusion and apriori
+//! tuning.  These report the *modelled* GPU latency (printed once per
+//! configuration) and time the host-side planning cost under Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tilewise::{ExecutionConfig, ExecutionPlanner, ModelEvaluation, PatternChoice, TransposeStrategy};
+use tw_gpu_sim::CoreKind;
+use tw_models::ModelKind;
+
+fn print_optimization_ablation() {
+    let harness = ModelEvaluation::with_divisor(ModelKind::BertBase, 7, 16);
+    let pattern = PatternChoice::TileWise { granularity: 128 };
+    let base = ExecutionConfig::optimized(CoreKind::TensorCore);
+    let configs = [
+        ("optimized (transpose+fusion+batch+streams)", base),
+        (
+            "no transpose",
+            ExecutionConfig { transpose: TransposeStrategy::None, ..base },
+        ),
+        ("no fusion", ExecutionConfig { fuse_non_gemm: false, ..base }),
+        ("no batching", ExecutionConfig { tw_batching: false, ..base }),
+        ("no streams", ExecutionConfig { tw_streams: false, ..base }),
+        ("naive", ExecutionConfig::naive(CoreKind::TensorCore)),
+    ];
+    println!("\n# TW-128 @ 75% sparsity, BERT, modelled GPU latency per optimisation ablation");
+    println!("# config, gemm_ms, end_to_end_ms, gemm_speedup_vs_dense");
+    for (label, cfg) in configs {
+        let r = harness.evaluate(pattern, 0.75, &cfg);
+        println!(
+            "# {label}, {:.4}, {:.4}, {:.3}",
+            r.gemm_time_s * 1e3,
+            r.total_time_s * 1e3,
+            r.gemm_speedup()
+        );
+    }
+}
+
+fn bench_ablation_planning_cost(c: &mut Criterion) {
+    print_optimization_ablation();
+    let harness = ModelEvaluation::with_divisor(ModelKind::BertBase, 7, 16);
+    let pattern = PatternChoice::TileWise { granularity: 128 };
+    let mut group = c.benchmark_group("ablation_planning_cost");
+    group.sample_size(10);
+    group.bench_function("optimized", |b| {
+        let cfg = ExecutionConfig::optimized(CoreKind::TensorCore);
+        b.iter(|| black_box(harness.evaluate(pattern, 0.75, &cfg)))
+    });
+    group.bench_function("naive", |b| {
+        let cfg = ExecutionConfig::naive(CoreKind::TensorCore);
+        b.iter(|| black_box(harness.evaluate(pattern, 0.75, &cfg)))
+    });
+    group.finish();
+}
+
+fn bench_gemm_vs_transpose_split(c: &mut Criterion) {
+    // Times the planner's breakdown helpers on a fixed run.
+    let harness = ModelEvaluation::with_divisor(ModelKind::BertBase, 7, 16);
+    let cfg = ExecutionConfig::optimized(CoreKind::TensorCore);
+    let run = harness.dense_run(&cfg);
+    let mut group = c.benchmark_group("breakdown_helpers");
+    group.bench_function("gemm_time", |b| {
+        b.iter(|| black_box(ExecutionPlanner::gemm_time(&run)))
+    });
+    group.bench_function("other_time", |b| {
+        b.iter(|| black_box(ExecutionPlanner::other_time(&run)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_planning_cost, bench_gemm_vs_transpose_split);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks that time the end-to-end figure evaluation path
+//! (prune -> accuracy proxy -> execution planning) for single points, so
+//! regressions in the reproduction pipeline itself are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tilewise::{ExecutionConfig, ModelEvaluation, PatternChoice};
+use tw_gpu_sim::CoreKind;
+use tw_models::ModelKind;
+
+fn bench_evaluate_points(c: &mut Criterion) {
+    let harness = ModelEvaluation::with_divisor(ModelKind::BertBase, 7, 16);
+    let cfg = ExecutionConfig::optimized(CoreKind::TensorCore);
+    let mut group = c.benchmark_group("evaluate_bert_point");
+    group.sample_size(10);
+    let patterns = [
+        ("dense", PatternChoice::Dense),
+        ("ew", PatternChoice::ElementWise),
+        ("tw128", PatternChoice::TileWise { granularity: 128 }),
+        ("bw32", PatternChoice::BlockWise { block_size: 32 }),
+        ("tew128-5", PatternChoice::TileElementWise { granularity: 128, delta: 0.05 }),
+    ];
+    for (label, pattern) in patterns {
+        group.bench_with_input(BenchmarkId::new("pattern", label), &pattern, |b, &p| {
+            b.iter(|| black_box(harness.evaluate(p, 0.75, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_planner_only(c: &mut Criterion) {
+    let harness = ModelEvaluation::with_divisor(ModelKind::BertBase, 7, 16);
+    let mut group = c.benchmark_group("planner");
+    group.bench_function("dense_bert_plan", |b| {
+        b.iter(|| {
+            black_box(harness.dense_run(&ExecutionConfig::optimized(CoreKind::TensorCore)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate_points, bench_planner_only);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the dense GEMM substrate: reference, blocked,
+//! rayon-parallel and masked kernels, plus the functional TileWiseMatrix
+//! multiplication.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tilewise::TileWiseMatrix;
+use tw_pruning::{tw, ImportanceScores, SparsityTarget, TileWiseConfig};
+use tw_tensor::{gemm, gemm_blocked, gemm_par, Matrix};
+
+fn bench_dense_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_gemm");
+    for &n in &[64usize, 128, 256] {
+        let a = Matrix::random_uniform(n, n, 1.0, 1);
+        let b = Matrix::random_uniform(n, n, 1.0, 2);
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_32x32", n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm_blocked(&a, &b, 32, 32)))
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm_par(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tilewise_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tilewise_matmul");
+    let k = 256;
+    let n = 256;
+    let weights = Matrix::random_normal(k, n, 1.0, 3);
+    let scores = ImportanceScores::magnitude(&weights);
+    let a = Matrix::random_uniform(64, k, 1.0, 4);
+    for &sparsity in &[0.0f64, 0.5, 0.75, 0.9] {
+        let mask = tw::prune(
+            &scores,
+            &TileWiseConfig::with_granularity(64),
+            SparsityTarget::new(sparsity),
+        );
+        let twm = TileWiseMatrix::from_mask(&weights, &mask);
+        group.bench_with_input(
+            BenchmarkId::new("tw_sparsity", format!("{sparsity:.2}")),
+            &sparsity,
+            |bench, _| bench.iter(|| black_box(twm.matmul(&a))),
+        );
+    }
+    // Dense reference for the same shape.
+    group.bench_function("dense_reference", |bench| {
+        bench.iter(|| black_box(gemm(&a, &weights)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense_gemm, bench_tilewise_matmul);
+criterion_main!(benches);

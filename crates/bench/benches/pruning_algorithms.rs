@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the pruning algorithms themselves (EW / VW / BW /
+//! TW / TEW and the multi-stage scheduler) on a synthetic BERT layer set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tw_models::{SyntheticModel, SyntheticModelConfig, Workload};
+use tw_pruning::{
+    bw, ew, tew, tw, vw, AprioriConfig, ImportanceMethod, ImportanceScores, MultiStageConfig,
+    MultiStagePruner, PruningPattern, SparsityTarget, TileWiseConfig,
+};
+
+fn bert_scores() -> Vec<ImportanceScores> {
+    let mut cfg = SyntheticModelConfig::default_with_seed(99);
+    cfg.dim_divisor = 16;
+    let model = SyntheticModel::generate(Workload::bert_base(8, 128), cfg);
+    model.layers().importance(ImportanceMethod::Taylor)
+}
+
+fn bench_single_shot_patterns(c: &mut Criterion) {
+    let scores = bert_scores();
+    let target = SparsityTarget::new(0.75);
+    let mut group = c.benchmark_group("prune_patterns_bert72");
+    group.sample_size(10);
+    group.bench_function("ew_global", |b| {
+        b.iter(|| black_box(ew::prune_global(&scores, target)))
+    });
+    group.bench_function("vw16", |b| {
+        b.iter(|| black_box(vw::prune_all(&scores, 16, target)))
+    });
+    group.bench_function("bw32_global", |b| {
+        b.iter(|| black_box(bw::prune_global(&scores, 32, target)))
+    });
+    group.bench_function("tw_g16_global", |b| {
+        b.iter(|| {
+            black_box(tw::prune_global(
+                &scores,
+                &TileWiseConfig::with_granularity(16),
+                target,
+                None,
+            ))
+        })
+    });
+    group.bench_function("tew_g16_d5_global", |b| {
+        b.iter(|| {
+            black_box(tew::prune_global(
+                &scores,
+                &TileWiseConfig::with_granularity(16),
+                target,
+                0.05,
+                None,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_multi_stage(c: &mut Criterion) {
+    let mut cfg = SyntheticModelConfig::default_with_seed(100);
+    cfg.dim_divisor = 16;
+    let model = SyntheticModel::generate(Workload::bert_base(8, 128), cfg);
+    let mut group = c.benchmark_group("multi_stage_pruning");
+    group.sample_size(10);
+    for &stages in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("tw_g16", stages), &stages, |b, &stages| {
+            b.iter(|| {
+                let mut layers = model.fresh_layers();
+                let pruner = MultiStagePruner::new(MultiStageConfig {
+                    target: SparsityTarget::new(0.75),
+                    stages,
+                    pattern: PruningPattern::TileWise { granularity: 16 },
+                    importance: ImportanceMethod::Taylor,
+                    apriori: Some(AprioriConfig::default()),
+                });
+                black_box(pruner.run(&mut layers, |_, _, _| {}))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_shot_patterns, bench_multi_stage);
+criterion_main!(benches);

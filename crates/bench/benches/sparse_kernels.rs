@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the sparse-format substrate (CSR/CSC/BSR
+//! construction and SpMM kernels) at several sparsity levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tw_sparse::{spmm, BsrMatrix, CscMatrix, CsrMatrix};
+use tw_tensor::Matrix;
+
+fn sparse_matrix(rows: usize, cols: usize, sparsity: f64, seed: u64) -> Matrix {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        if rng.gen_bool(1.0 - sparsity) {
+            rng.gen_range(-1.0..1.0f32)
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_format_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("format_construction");
+    let dense = sparse_matrix(256, 256, 0.75, 1);
+    group.bench_function("csr_from_dense", |b| b.iter(|| black_box(CsrMatrix::from_dense(&dense))));
+    group.bench_function("csc_from_dense", |b| b.iter(|| black_box(CscMatrix::from_dense(&dense))));
+    group.bench_function("bsr32_from_dense", |b| {
+        b.iter(|| black_box(BsrMatrix::from_dense(&dense, 32)))
+    });
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    let a = Matrix::random_uniform(64, 256, 1.0, 2);
+    for &sparsity in &[0.5f64, 0.75, 0.95] {
+        let dense = sparse_matrix(256, 256, sparsity, 3);
+        let csr = CsrMatrix::from_dense(&dense);
+        let csc = CscMatrix::from_dense(&dense);
+        let bsr = BsrMatrix::from_dense(&dense, 32);
+        let label = format!("{sparsity:.2}");
+        group.bench_with_input(BenchmarkId::new("dense_csr", &label), &sparsity, |b, _| {
+            b.iter(|| black_box(spmm::dense_csr_matmul(&a, &csr)))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_csr_par", &label), &sparsity, |b, _| {
+            b.iter(|| black_box(spmm::dense_csr_matmul_par(&a, &csr)))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_csc", &label), &sparsity, |b, _| {
+            b.iter(|| black_box(spmm::dense_csc_matmul(&a, &csc)))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_bsr32", &label), &sparsity, |b, _| {
+            b.iter(|| black_box(spmm::dense_bsr_matmul(&a, &bsr)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_format_construction, bench_spmm);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Fig. 3: sparsity and execution time of dense vs EW/VW/BW sparse models
+//! (VGG and BERT).  The sparse baselines must all be slower than their dense
+//! counterparts.
+
+use tilewise::figures;
+use tw_bench::{csv_header, csv_row, fmt};
+
+fn main() {
+    csv_header(&["model", "config", "sparsity", "gemm_time_ms"]);
+    for row in figures::fig03_baseline_patterns() {
+        csv_row(&[
+            row.model.to_string(),
+            row.config.clone(),
+            fmt(row.sparsity),
+            fmt(row.time_ms),
+        ]);
+    }
+}

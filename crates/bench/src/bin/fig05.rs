@@ -1,0 +1,12 @@
+//! Fig. 5: per-weight-matrix sparsity of BERT under global EW pruning at
+//! 75% overall sparsity (72 matrices, uneven allocation).
+
+use tilewise::figures;
+use tw_bench::{csv_header, csv_row, fmt};
+
+fn main() {
+    csv_header(&["weight_matrix_index", "sparsity"]);
+    for (i, s) in figures::fig05_per_layer_sparsity().iter().enumerate() {
+        csv_row(&[i.to_string(), fmt(*s)]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fig. 6: cumulative probability distribution of zero elements within BW
+//! blocks (8x8, 32x32) and TW row vectors (G = 64) on a 75% EW-pruned BERT.
+
+use tilewise::figures;
+use tw_bench::{csv_header, csv_row, fmt};
+
+fn main() {
+    csv_header(&["unit", "zero_ratio", "cumulative_probability"]);
+    for series in figures::fig06_zero_cdf() {
+        for (x, p) in &series.points {
+            csv_row(&[series.label.to_string(), fmt(*x), fmt(*p)]);
+        }
+    }
+}

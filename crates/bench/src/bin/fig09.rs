@@ -1,0 +1,20 @@
+//! Fig. 9: the TW design space on BERT — accuracy (9a) and normalised
+//! tensor-core latency (9b) versus sparsity for EW, TW (G = 8..128) and BW
+//! (8/32/64).
+
+use tilewise::figures;
+use tw_bench::{csv_header, csv_row, fmt};
+
+fn main() {
+    let sparsities = [0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9];
+    csv_header(&["pattern", "sparsity", "metric", "norm_latency", "gemm_speedup"]);
+    for p in figures::fig09_design_space(&sparsities) {
+        csv_row(&[
+            p.pattern.clone(),
+            fmt(p.sparsity),
+            fmt(p.metric),
+            fmt(p.normalized_latency),
+            fmt(p.gemm_speedup),
+        ]);
+    }
+}

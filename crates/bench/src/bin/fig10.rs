@@ -1,0 +1,18 @@
+//! Fig. 10: the TEW hybrid pattern at 75% sparsity — accuracy and latency
+//! (tensor and CUDA cores, normalised to the dense model on CUDA cores) for
+//! delta in {1%, 2.5%, 5%, 10%, 15%}.
+
+use tilewise::figures;
+use tw_bench::{csv_header, csv_row, fmt};
+
+fn main() {
+    csv_header(&["config", "metric", "tensor_latency_norm", "cuda_latency_norm"]);
+    for row in figures::fig10_tew_delta() {
+        csv_row(&[
+            row.config.clone(),
+            fmt(row.metric),
+            fmt(row.tensor_latency_norm),
+            fmt(row.cuda_latency_norm),
+        ]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fig. 12: accuracy versus sparsity of EW / TW / TEW-5% / VW / BW on the
+//! four evaluation tasks (MNLI, SQuAD is approximated by the same BERT
+//! backbone, ImageNet, IWSLT BLEU).
+
+use tilewise::figures;
+use tw_bench::{csv_header, csv_row, fmt};
+
+fn main() {
+    let sparsities = [0.3, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9];
+    csv_header(&["model", "task", "pattern", "sparsity", "metric"]);
+    for (model, task, points) in figures::fig12_accuracy_all_models(&sparsities) {
+        for p in points {
+            csv_row(&[
+                model.clone(),
+                task.clone(),
+                p.pattern.clone(),
+                fmt(p.sparsity),
+                fmt(p.metric),
+            ]);
+        }
+    }
+}

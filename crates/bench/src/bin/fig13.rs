@@ -1,0 +1,16 @@
+//! Fig. 13: sparsity heatmaps of BERT layer-0's query weight matrix under
+//! EW, VW, BW and TW at 75% sparsity (16x16 grid of local sparsities).
+
+use tilewise::figures;
+use tw_bench::{csv_header, csv_row, fmt};
+
+fn main() {
+    csv_header(&["pattern", "grid_row", "grid_col", "sparsity"]);
+    for (pattern, grid) in figures::fig13_heatmaps(16) {
+        for (r, row) in grid.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                csv_row(&[pattern.clone(), r.to_string(), c.to_string(), fmt(*v)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Fig. 14: the latency-accuracy trade-off (Pareto frontier) of TW vs BW on
+//! tensor cores and TW vs EW/VW on CUDA cores, for BERT, VGG and NMT.
+
+use tilewise::figures;
+use tw_bench::{csv_header, csv_row, fmt};
+
+fn main() {
+    let sparsities = [0.5, 0.6, 0.7, 0.75, 0.8];
+    csv_header(&["model", "core", "pattern", "sparsity", "metric", "gemm_speedup"]);
+    for row in figures::fig14_pareto(&sparsities) {
+        csv_row(&[
+            row.model.clone(),
+            row.core.to_string(),
+            row.pattern.clone(),
+            fmt(row.sparsity),
+            fmt(row.metric),
+            fmt(row.speedup),
+        ]);
+    }
+}

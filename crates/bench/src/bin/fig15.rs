@@ -1,0 +1,21 @@
+//! Fig. 15: end-to-end latency breakdown (GEMM / transpose / others) of the
+//! 75%-sparsity TW BERT and NMT models under the transpose and fusion
+//! optimisation ablation.
+
+use tilewise::figures;
+use tw_bench::{csv_header, csv_row, fmt};
+
+fn main() {
+    csv_header(&["model", "config", "gemm_ms", "transpose_ms", "others_ms", "total_ms"]);
+    for row in figures::fig15_breakdown() {
+        let total = row.gemm_ms + row.transpose_ms + row.others_ms;
+        csv_row(&[
+            row.model.clone(),
+            row.config.to_string(),
+            fmt(row.gemm_ms),
+            fmt(row.transpose_ms),
+            fmt(row.others_ms),
+            fmt(total),
+        ]);
+    }
+}

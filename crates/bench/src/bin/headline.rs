@@ -1,0 +1,13 @@
+//! The headline result: average GEMM speedup of each pattern over the dense
+//! baseline at iso-accuracy sparsities, on tensor cores and CUDA cores
+//! (paper: TW 1.95x / 2.86x while EW, VW and BW all slow down).
+
+use tilewise::figures;
+use tw_bench::{csv_header, csv_row, fmt};
+
+fn main() {
+    csv_header(&["pattern", "tensor_core_speedup", "cuda_core_speedup"]);
+    for row in figures::headline_speedups() {
+        csv_row(&[row.pattern.clone(), fmt(row.tensor_speedup), fmt(row.cuda_speedup)]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared helpers for the figure-regeneration binaries and Criterion
+//! benchmarks.
+//!
+//! Every binary in `src/bin/` regenerates one figure of the paper and prints
+//! it as CSV on stdout; `EXPERIMENTS.md` records the paper-vs-measured
+//! comparison.  The Criterion benches in `benches/` measure the library
+//! itself (kernels, pruning algorithms, planner) rather than the modelled
+//! GPU times.
+
+/// Prints a CSV header line.
+pub fn csv_header(columns: &[&str]) {
+    println!("{}", columns.join(","));
+}
+
+/// Formats a float with enough precision for the figures without drowning
+/// the CSV in digits.
+pub fn fmt(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Prints one CSV row of heterogeneous fields.
+pub fn csv_row(fields: &[String]) {
+    println!("{}", fields.join(","));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(0.123456), "0.1235");
+        assert_eq!(fmt(1234.5678), "1234.57");
+        assert_eq!(fmt(-0.5), "-0.5000");
+    }
+}

@@ -1,0 +1,260 @@
+//! High-level pruning pipeline.
+//!
+//! [`TileWisePruner`] is the user-facing entry point: give it a model's
+//! layer set and a configuration, and it runs the multi-stage pruning of
+//! Algorithm 1 (with apriori tuning and a fine-tuning hook) and hands back
+//! executable [`TileWiseMatrix`]/[`TewMatrix`] weights plus the per-stage
+//! reports.
+
+use crate::tew_matrix::TewMatrix;
+use crate::tile_matrix::TileWiseMatrix;
+use tw_pruning::{
+    AprioriConfig, ImportanceMethod, LayerSet, MultiStageConfig, MultiStagePruner, PatternMask,
+    PruneStageReport, PruningPattern, SparsityTarget,
+};
+
+/// Configuration of the end-to-end pruning pipeline.
+#[derive(Clone, Debug)]
+pub struct TileWisePrunerConfig {
+    /// Tiling granularity G.
+    pub granularity: usize,
+    /// Final sparsity target.
+    pub target_sparsity: f64,
+    /// Overlay fraction δ; zero gives pure TW, positive gives TEW.
+    pub delta: f64,
+    /// Number of prune/fine-tune stages.
+    pub stages: usize,
+    /// Importance estimator.
+    pub importance: ImportanceMethod,
+    /// Apriori tuning configuration (Algorithm 2); `None` disables it.
+    pub apriori: Option<AprioriConfig>,
+    /// Fraction by which surviving weights are boosted per stage to model
+    /// fine-tuning recovery (0 disables the hook).
+    pub fine_tune_recovery: f32,
+}
+
+impl TileWisePrunerConfig {
+    /// The paper's reference configuration: G = 128, 75% sparsity, pure TW,
+    /// 4 stages, Taylor importance, apriori tuning on.
+    pub fn paper_default() -> Self {
+        Self {
+            granularity: 128,
+            target_sparsity: 0.75,
+            delta: 0.0,
+            stages: 4,
+            importance: ImportanceMethod::Taylor,
+            apriori: Some(AprioriConfig::default()),
+            fine_tune_recovery: 0.05,
+        }
+    }
+}
+
+impl Default for TileWisePrunerConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The result of pruning one model.
+#[derive(Clone, Debug)]
+pub struct PrunedModel {
+    /// Executable TW weights, one per layer (present for both TW and TEW).
+    pub tile_matrices: Vec<TileWiseMatrix>,
+    /// Executable TEW weights when δ > 0.
+    pub tew_matrices: Option<Vec<TewMatrix>>,
+    /// Final flat keep masks.
+    pub masks: Vec<PatternMask>,
+    /// Per-stage pruning reports.
+    pub stages: Vec<PruneStageReport>,
+    /// Overall achieved sparsity.
+    pub achieved_sparsity: f64,
+}
+
+impl PrunedModel {
+    /// Total surviving parameters across all layers.
+    pub fn kept_parameters(&self) -> usize {
+        self.tile_matrices.iter().map(|t| t.kept_elements()).sum()
+    }
+}
+
+/// The high-level pruner.
+pub struct TileWisePruner {
+    config: TileWisePrunerConfig,
+}
+
+impl TileWisePruner {
+    /// Creates a pruner with the given configuration.
+    pub fn new(config: TileWisePrunerConfig) -> Self {
+        assert!(config.granularity > 0, "granularity must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.target_sparsity),
+            "target sparsity must be in [0, 1)"
+        );
+        assert!(config.delta >= 0.0, "delta must be non-negative");
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TileWisePrunerConfig {
+        &self.config
+    }
+
+    /// Prunes a model in place (its weights end up masked) and returns the
+    /// executable sparse representation.
+    pub fn prune(&self, layers: &mut LayerSet) -> PrunedModel {
+        let pattern = if self.config.delta > 0.0 {
+            PruningPattern::TileElementWise {
+                granularity: self.config.granularity,
+                delta: self.config.delta,
+            }
+        } else {
+            PruningPattern::TileWise { granularity: self.config.granularity }
+        };
+        let ms_config = MultiStageConfig {
+            target: SparsityTarget::new(self.config.target_sparsity),
+            stages: self.config.stages,
+            pattern,
+            importance: self.config.importance,
+            apriori: self.config.apriori,
+        };
+        let pruner = MultiStagePruner::new(ms_config);
+        // Snapshot the original (dense) weights: the executable matrices are
+        // built from them so that fine-tune boosts during staging do not
+        // change the reference semantics checked by tests.
+        let recovery = self.config.fine_tune_recovery;
+        let outcome = if recovery > 0.0 {
+            pruner.run(layers, tw_models::SyntheticModel::fine_tune_hook(recovery))
+        } else {
+            pruner.run(layers, |_, _, _| {})
+        };
+
+        let tw_masks = outcome.tw_masks.expect("TW/TEW pruning always yields structured masks");
+        let tile_matrices: Vec<TileWiseMatrix> = layers
+            .weights()
+            .iter()
+            .zip(&tw_masks)
+            .map(|(w, m)| TileWiseMatrix::from_mask(w, m))
+            .collect();
+        let tew_matrices = outcome.tew_masks.as_ref().map(|tews| {
+            layers
+                .weights()
+                .iter()
+                .zip(tews)
+                .map(|(w, m)| TewMatrix::from_mask(w, m))
+                .collect()
+        });
+        let achieved = {
+            let total: usize = outcome.masks.iter().map(|m| m.keep().len()).sum();
+            let pruned: usize = outcome.masks.iter().map(|m| m.pruned_count()).sum();
+            pruned as f64 / total.max(1) as f64
+        };
+        PrunedModel {
+            tile_matrices,
+            tew_matrices,
+            masks: outcome.masks,
+            stages: outcome.stages,
+            achieved_sparsity: achieved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_tensor::Matrix;
+
+    fn small_layers(seed: u64) -> LayerSet {
+        LayerSet::with_grads(
+            vec!["a".into(), "b".into()],
+            vec![
+                Matrix::random_normal(64, 96, 1.0, seed),
+                Matrix::random_normal(96, 64, 1.0, seed + 1),
+            ],
+            vec![
+                Matrix::random_normal(64, 96, 0.1, seed + 2),
+                Matrix::random_normal(96, 64, 0.1, seed + 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn tw_pipeline_reaches_target_and_builds_executables() {
+        let mut layers = small_layers(1);
+        let pruner = TileWisePruner::new(TileWisePrunerConfig {
+            granularity: 32,
+            target_sparsity: 0.7,
+            delta: 0.0,
+            stages: 3,
+            importance: ImportanceMethod::Taylor,
+            apriori: Some(AprioriConfig::default()),
+            fine_tune_recovery: 0.05,
+        });
+        let pruned = pruner.prune(&mut layers);
+        assert!((pruned.achieved_sparsity - 0.7).abs() < 0.05);
+        assert_eq!(pruned.tile_matrices.len(), 2);
+        assert!(pruned.tew_matrices.is_none());
+        assert_eq!(pruned.stages.len(), 3);
+        assert!(pruned.kept_parameters() > 0);
+        // The executable matrices carry the same sparsity as the masks.
+        for (tm, mask) in pruned.tile_matrices.iter().zip(&pruned.masks) {
+            assert!((tm.sparsity() - mask.sparsity()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tew_pipeline_builds_overlay() {
+        let mut layers = small_layers(2);
+        let pruner = TileWisePruner::new(TileWisePrunerConfig {
+            granularity: 32,
+            target_sparsity: 0.75,
+            delta: 0.05,
+            stages: 2,
+            importance: ImportanceMethod::Taylor,
+            apriori: None,
+            fine_tune_recovery: 0.0,
+        });
+        let pruned = pruner.prune(&mut layers);
+        let tew = pruned.tew_matrices.expect("TEW matrices present");
+        let overlay_total: usize = tew.iter().map(|t| t.overlay_nnz()).sum();
+        assert!(overlay_total > 0);
+        assert!((pruned.achieved_sparsity - 0.75).abs() < 0.05);
+    }
+
+    #[test]
+    fn executable_weights_match_pruned_layer_weights() {
+        // After pruning, the layer set's weights are masked; the executable
+        // representation must reconstruct exactly those masked weights.
+        let mut layers = small_layers(3);
+        let pruner = TileWisePruner::new(TileWisePrunerConfig {
+            granularity: 16,
+            target_sparsity: 0.6,
+            delta: 0.0,
+            stages: 1,
+            importance: ImportanceMethod::Magnitude,
+            apriori: None,
+            fine_tune_recovery: 0.0,
+        });
+        let pruned = pruner.prune(&mut layers);
+        for (tm, w) in pruned.tile_matrices.iter().zip(layers.weights()) {
+            assert_eq!(&tm.to_dense(), w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be positive")]
+    fn zero_granularity_rejected() {
+        let _ = TileWisePruner::new(TileWisePrunerConfig {
+            granularity: 0,
+            ..TileWisePrunerConfig::paper_default()
+        });
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = TileWisePrunerConfig::default();
+        assert_eq!(cfg.granularity, 128);
+        assert!((cfg.target_sparsity - 0.75).abs() < 1e-12);
+        assert_eq!(cfg.stages, 4);
+        assert!(cfg.apriori.is_some());
+    }
+}

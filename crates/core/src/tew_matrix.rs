@@ -1,0 +1,146 @@
+//! The executable tile-element-wise (TEW) sparse matrix.
+//!
+//! TEW = a tile-wise core plus a sparse element-wise overlay of restored
+//! weights.  The overlay is stored in CSC (Fig. 4 ④) and its contribution is
+//! added to the TW result by exploiting the linearity of matrix
+//! multiplication: `A x (W_tw + W_overlay) = A x W_tw + A x W_overlay`.
+
+use crate::tile_matrix::TileWiseMatrix;
+use tw_pruning::TewMask;
+use tw_sparse::{spmm, CscMatrix};
+use tw_tensor::Matrix;
+
+/// A weight matrix pruned with the hybrid TEW pattern, in executable form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TewMatrix {
+    tw: TileWiseMatrix,
+    overlay: CscMatrix,
+    delta: f64,
+}
+
+impl TewMatrix {
+    /// Builds the executable representation from the original dense weights
+    /// and a TEW pruning decision.
+    pub fn from_mask(weights: &Matrix, mask: &TewMask) -> Self {
+        let tw = TileWiseMatrix::from_mask(weights, mask.tw());
+        let overlay_dense = mask.overlay().apply(weights);
+        let overlay = CscMatrix::from_dense(&overlay_dense);
+        Self { tw, overlay, delta: mask.delta() }
+    }
+
+    /// The structured tile-wise component.
+    pub fn tw(&self) -> &TileWiseMatrix {
+        &self.tw
+    }
+
+    /// The element-wise overlay in CSC form.
+    pub fn overlay(&self) -> &CscMatrix {
+        &self.overlay
+    }
+
+    /// The overlay fraction δ requested at pruning time.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of non-zero overlay elements.
+    pub fn overlay_nnz(&self) -> usize {
+        self.overlay.nnz()
+    }
+
+    /// Achieved overall sparsity (TW survivors + overlay).
+    pub fn sparsity(&self) -> f64 {
+        let total = self.tw.k() * self.tw.n();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - (self.tw.kept_elements() + self.overlay.nnz()) as f64 / total as f64
+    }
+
+    /// Reconstructs the equivalent masked dense weight matrix.
+    pub fn to_dense(&self) -> Matrix {
+        self.tw.to_dense().add(&self.overlay.to_dense())
+    }
+
+    /// Multiplies a dense activation matrix by this TEW weight matrix,
+    /// executing the TW part with tiled dense GEMMs and the overlay with a
+    /// CSC SpMM, then summing (linearity of GEMM).
+    pub fn matmul(&self, a: &Matrix) -> Matrix {
+        let tw_out = self.tw.matmul(a);
+        let overlay_out = spmm::dense_csc_matmul(a, &self.overlay);
+        tw_out.add(&overlay_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_pruning::{tew, ImportanceScores, SparsityTarget, TileWiseConfig};
+    use tw_tensor::{gemm, DEFAULT_TOL};
+
+    fn build(seed: u64, sparsity: f64, delta: f64) -> (Matrix, TewMask) {
+        let weights = Matrix::random_normal(96, 128, 1.0, seed);
+        let scores = ImportanceScores::magnitude(&weights);
+        let mask = tew::prune(
+            &scores,
+            &TileWiseConfig::with_granularity(32),
+            SparsityTarget::new(sparsity),
+            delta,
+        );
+        (weights, mask)
+    }
+
+    #[test]
+    fn matmul_matches_masked_dense_gemm() {
+        for (seed, sparsity, delta) in [(1, 0.7, 0.05), (2, 0.8, 0.01), (3, 0.5, 0.1)] {
+            let (weights, mask) = build(seed, sparsity, delta);
+            let tewm = TewMatrix::from_mask(&weights, &mask);
+            let a = Matrix::random_uniform(16, 96, 1.0, seed + 10);
+            let reference = gemm(&a, &mask.combined_mask().apply(&weights));
+            assert!(
+                tewm.matmul(&a).approx_eq(&reference, DEFAULT_TOL),
+                "sparsity {sparsity} delta {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_reconstruction_matches_combined_mask() {
+        let (weights, mask) = build(4, 0.75, 0.05);
+        let tewm = TewMatrix::from_mask(&weights, &mask);
+        assert_eq!(tewm.to_dense(), mask.combined_mask().apply(&weights));
+    }
+
+    #[test]
+    fn overlay_nnz_matches_mask() {
+        let (weights, mask) = build(5, 0.7, 0.05);
+        let tewm = TewMatrix::from_mask(&weights, &mask);
+        // Some restored elements may have weight exactly 0.0 (extremely
+        // unlikely with random weights), so the CSC count equals the mask
+        // count here.
+        assert_eq!(tewm.overlay_nnz(), mask.overlay_count());
+        assert!((tewm.sparsity() - mask.sparsity()).abs() < 1e-9);
+        assert!((tewm.delta() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_delta_has_empty_overlay() {
+        let (weights, mask) = build(6, 0.6, 0.0);
+        let tewm = TewMatrix::from_mask(&weights, &mask);
+        assert_eq!(tewm.overlay_nnz(), 0);
+        let a = Matrix::random_uniform(8, 96, 1.0, 60);
+        assert!(tewm.matmul(&a).approx_eq(&tewm.tw().matmul(&a), DEFAULT_TOL));
+    }
+
+    #[test]
+    fn overlay_improves_fidelity_to_original_weights() {
+        // The TEW reconstruction is closer to the original dense weights
+        // than the TW-only reconstruction (it restores the most important
+        // pruned elements).
+        let (weights, mask) = build(7, 0.8, 0.05);
+        let tewm = TewMatrix::from_mask(&weights, &mask);
+        let tw_err = tewm.tw().to_dense().sub(&weights).frobenius_norm();
+        let tew_err = tewm.to_dense().sub(&weights).frobenius_norm();
+        assert!(tew_err < tw_err);
+    }
+}

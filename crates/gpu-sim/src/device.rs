@@ -1,0 +1,152 @@
+//! GPU device descriptions.
+
+/// Which execution unit a kernel runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CoreKind {
+    /// The general-purpose CUDA cores (FP32, 15.7 TFLOPS on V100).
+    CudaCore,
+    /// The tensor cores (FP16 matrix units, 125 TFLOPS on V100).
+    TensorCore,
+}
+
+/// Arithmetic precision of a kernel's operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 16-bit floating point (tensor-core inference in the paper).
+    Fp16,
+    /// 32-bit floating point (CUDA-core inference and all training).
+    Fp32,
+}
+
+impl Precision {
+    /// Size of one element in bytes.
+    pub const fn bytes(&self) -> usize {
+        match self {
+            Precision::Fp16 => 2,
+            Precision::Fp32 => 4,
+        }
+    }
+}
+
+/// Static description of a GPU.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuDevice {
+    /// Marketing name, e.g. "Tesla V100".
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Peak FP32 throughput of the CUDA cores, in FLOP/s.
+    pub cuda_core_flops: f64,
+    /// Peak FP16 throughput of the tensor cores, in FLOP/s.
+    pub tensor_core_flops: f64,
+    /// DRAM bandwidth in bytes/s.
+    pub memory_bandwidth: f64,
+    /// Size of one DRAM transaction in bytes (a coalesced 32-byte sector).
+    pub memory_transaction_bytes: usize,
+    /// Kernel launch overhead in seconds.
+    pub kernel_launch_overhead: f64,
+    /// Warp size (threads per warp).
+    pub warp_size: usize,
+    /// Maximum number of concurrently executing streams the scheduler can
+    /// overlap usefully.
+    pub max_concurrent_streams: usize,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: usize,
+}
+
+impl GpuDevice {
+    /// The Tesla V100 used throughout the paper's evaluation (Sec. VII-A):
+    /// 15.7 TFLOPS CUDA cores, 125 TFLOPS tensor cores, 80 SMs, ~900 GB/s
+    /// HBM2.
+    pub fn v100() -> Self {
+        Self {
+            name: "Tesla V100".to_string(),
+            num_sms: 80,
+            cuda_core_flops: 15.7e12,
+            tensor_core_flops: 125.0e12,
+            memory_bandwidth: 900.0e9,
+            memory_transaction_bytes: 32,
+            kernel_launch_overhead: 3.0e-6,
+            warp_size: 32,
+            max_concurrent_streams: 8,
+            shared_mem_per_sm: 96 * 1024,
+        }
+    }
+
+    /// A smaller, tensor-core-less GPU (the "low-end GPUs with less or even
+    /// no tensor cores" scenario the paper mentions for TEW): modelled on a
+    /// GTX-1080-class part.
+    pub fn cuda_only_midrange() -> Self {
+        Self {
+            name: "CUDA-only midrange".to_string(),
+            num_sms: 20,
+            cuda_core_flops: 8.9e12,
+            tensor_core_flops: 0.0,
+            memory_bandwidth: 320.0e9,
+            memory_transaction_bytes: 32,
+            kernel_launch_overhead: 5.0e-6,
+            warp_size: 32,
+            max_concurrent_streams: 4,
+            shared_mem_per_sm: 64 * 1024,
+        }
+    }
+
+    /// Peak throughput (FLOP/s) of the chosen execution unit.
+    pub fn peak_flops(&self, core: CoreKind) -> f64 {
+        match core {
+            CoreKind::CudaCore => self.cuda_core_flops,
+            CoreKind::TensorCore => self.tensor_core_flops,
+        }
+    }
+
+    /// True when the device has usable tensor cores.
+    pub fn has_tensor_cores(&self) -> bool {
+        self.tensor_core_flops > 0.0
+    }
+
+    /// Number of DRAM transactions needed to move `bytes` bytes with fully
+    /// coalesced accesses.
+    pub fn coalesced_transactions(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.memory_transaction_bytes as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_matches_paper_figures() {
+        let d = GpuDevice::v100();
+        assert_eq!(d.num_sms, 80);
+        assert!((d.cuda_core_flops - 15.7e12).abs() < 1e9);
+        assert!((d.tensor_core_flops - 125.0e12).abs() < 1e9);
+        assert!(d.has_tensor_cores());
+        // The paper quotes the tensor cores as ~8x faster than CUDA cores.
+        let ratio = d.peak_flops(CoreKind::TensorCore) / d.peak_flops(CoreKind::CudaCore);
+        assert!(ratio > 7.5 && ratio < 8.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cuda_only_device_has_no_tensor_cores() {
+        let d = GpuDevice::cuda_only_midrange();
+        assert!(!d.has_tensor_cores());
+        assert_eq!(d.peak_flops(CoreKind::TensorCore), 0.0);
+    }
+
+    #[test]
+    fn precision_sizes() {
+        assert_eq!(Precision::Fp16.bytes(), 2);
+        assert_eq!(Precision::Fp32.bytes(), 4);
+    }
+
+    #[test]
+    fn coalesced_transaction_count_rounds_up() {
+        let d = GpuDevice::v100();
+        assert_eq!(d.coalesced_transactions(0), 0);
+        assert_eq!(d.coalesced_transactions(1), 1);
+        assert_eq!(d.coalesced_transactions(32), 1);
+        assert_eq!(d.coalesced_transactions(33), 2);
+        assert_eq!(d.coalesced_transactions(6400), 200);
+    }
+}

@@ -1,0 +1,126 @@
+//! Tile and wave quantisation effects.
+//!
+//! A GEMM is executed as a grid of output tiles distributed over the SMs.
+//! Two quantisation effects reduce achieved throughput below peak:
+//!
+//! * **Tile quantisation** — the output dimensions rarely divide the tile
+//!   size exactly, so edge tiles do partial work at full cost.
+//! * **Wave quantisation** — the grid of tiles is executed in "waves" of up
+//!   to `num_sms` tiles; the last wave is usually partially filled.
+
+/// Fraction of useful work in the tile grid covering an `m x n` output with
+/// `tile_m x tile_n` tiles (1.0 when the dimensions divide exactly).
+pub fn tile_quantization_efficiency(m: usize, n: usize, tile_m: usize, tile_n: usize) -> f64 {
+    if m == 0 || n == 0 {
+        return 1.0;
+    }
+    assert!(tile_m > 0 && tile_n > 0, "tile dimensions must be positive");
+    let tiles_m = m.div_ceil(tile_m);
+    let tiles_n = n.div_ceil(tile_n);
+    let covered = (tiles_m * tile_m) as f64 * (tiles_n * tile_n) as f64;
+    (m as f64 * n as f64) / covered
+}
+
+/// Fraction of SM capacity used when `num_tiles` thread blocks are executed
+/// in waves over `num_sms` SMs (1.0 when the last wave is full).
+pub fn wave_quantization_efficiency(num_tiles: usize, num_sms: usize) -> f64 {
+    if num_tiles == 0 {
+        return 1.0;
+    }
+    assert!(num_sms > 0, "SM count must be positive");
+    let waves = num_tiles.div_ceil(num_sms);
+    num_tiles as f64 / (waves * num_sms) as f64
+}
+
+/// Combined occupancy efficiency of a GEMM of shape `m x n` executed with
+/// the given output tile size over `num_sms` SMs.
+pub fn gemm_occupancy_efficiency(
+    m: usize,
+    n: usize,
+    tile_m: usize,
+    tile_n: usize,
+    num_sms: usize,
+) -> f64 {
+    let tiles = m.div_ceil(tile_m) * n.div_ceil(tile_n);
+    tile_quantization_efficiency(m, n, tile_m, tile_n)
+        * wave_quantization_efficiency(tiles, num_sms)
+}
+
+/// Load-imbalance factor of a batch of unequal work items executed
+/// concurrently: the ratio of the largest item to the mean item.  1.0 means
+/// perfectly balanced; the cost model scales this into a time penalty.
+pub fn imbalance_ratio(work_items: &[u64]) -> f64 {
+    if work_items.is_empty() {
+        return 1.0;
+    }
+    let max = *work_items.iter().max().expect("non-empty") as f64;
+    let sum: u64 = work_items.iter().sum();
+    let mean = sum as f64 / work_items.len() as f64;
+    if mean <= 0.0 {
+        return 1.0;
+    }
+    (max / mean).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tiling_is_fully_efficient() {
+        assert_eq!(tile_quantization_efficiency(256, 256, 128, 128), 1.0);
+        assert_eq!(tile_quantization_efficiency(128, 768, 128, 128), 1.0);
+    }
+
+    #[test]
+    fn partial_tiles_reduce_efficiency() {
+        let e = tile_quantization_efficiency(129, 128, 128, 128);
+        assert!((e - 129.0 / 256.0).abs() < 1e-12);
+        assert!(tile_quantization_efficiency(100, 100, 128, 128) < 1.0);
+    }
+
+    #[test]
+    fn full_waves_are_fully_efficient() {
+        assert_eq!(wave_quantization_efficiency(80, 80), 1.0);
+        assert_eq!(wave_quantization_efficiency(160, 80), 1.0);
+    }
+
+    #[test]
+    fn partial_last_wave_reduces_efficiency() {
+        assert!((wave_quantization_efficiency(81, 80) - 81.0 / 160.0).abs() < 1e-12);
+        assert!((wave_quantization_efficiency(40, 80) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_work_is_neutral() {
+        assert_eq!(tile_quantization_efficiency(0, 10, 16, 16), 1.0);
+        assert_eq!(wave_quantization_efficiency(0, 80), 1.0);
+    }
+
+    #[test]
+    fn combined_occupancy() {
+        // 1024x768 with 128x128 tiles = 8*6 = 48 tiles on 80 SMs: tile
+        // quantisation perfect, wave quantisation 48/80.
+        let e = gemm_occupancy_efficiency(1024, 768, 128, 128, 80);
+        assert!((e - 48.0 / 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_of_equal_items_is_one() {
+        assert_eq!(imbalance_ratio(&[5, 5, 5, 5]), 1.0);
+        assert_eq!(imbalance_ratio(&[]), 1.0);
+        assert_eq!(imbalance_ratio(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn imbalance_of_skewed_items() {
+        // Items 1,1,1,5: mean 2, max 5 -> ratio 2.5.
+        assert!((imbalance_ratio(&[1, 1, 1, 5]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tile_dims_panic() {
+        let _ = tile_quantization_efficiency(8, 8, 0, 8);
+    }
+}

@@ -1,0 +1,314 @@
+//! Synthetic weight and gradient generation.
+//!
+//! We do not have the pre-trained BERT/VGG/NMT checkpoints or their
+//! task-specific gradients, so we generate weight/gradient matrices whose
+//! *importance statistics* match what the paper measures on the real models:
+//!
+//! 1. **Uneven importance across matrices** (Fig. 5): the overall importance
+//!    scale of each weight matrix is drawn from a log-normal distribution,
+//!    so a global pruning pass allocates very different sparsities to
+//!    different matrices.
+//! 2. **Column-clustered importance inside a matrix** (Fig. 6/13): columns
+//!    come in clusters of varying strength, so EW pruning empties some
+//!    columns almost completely — the locality that apriori tuning and the
+//!    TW column phase exploit.
+//!
+//! All generation is seeded and deterministic.
+
+use crate::workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, LogNormal, Normal};
+use tw_pruning::LayerSet;
+use tw_tensor::Matrix;
+
+/// Configuration of the synthetic model generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyntheticModelConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Every weight-matrix dimension is divided by this factor (minimum 8
+    /// rows/columns are kept) so that accuracy sweeps stay fast; the latency
+    /// planner maps pruning decisions back onto the full shapes.
+    pub dim_divisor: usize,
+    /// Sigma of the log-normal distribution of per-matrix importance scale;
+    /// larger values produce a more uneven Fig. 5 profile.
+    pub layer_spread: f64,
+    /// Sigma of the log-normal distribution of per-column-cluster strength.
+    pub column_cluster_spread: f64,
+    /// Width (in columns, after scaling) of one importance cluster.
+    pub column_cluster_width: usize,
+    /// Sigma of the log-normal distribution of per-row-cluster strength
+    /// (rows of the weight matrix correspond to input features; entire
+    /// features being unimportant is what lets EW empty whole rows and TW's
+    /// row pruning capture them).
+    pub row_cluster_spread: f64,
+    /// Height (in rows, after scaling) of one row importance cluster.
+    pub row_cluster_width: usize,
+}
+
+impl SyntheticModelConfig {
+    /// Defaults tuned to reproduce the unevenness the paper reports (per-
+    /// matrix EW sparsity spanning roughly 0.5-1.0 at a 75% global target).
+    pub fn default_with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            dim_divisor: 8,
+            layer_spread: 0.6,
+            column_cluster_spread: 0.8,
+            column_cluster_width: 4,
+            row_cluster_spread: 0.7,
+            row_cluster_width: 2,
+        }
+    }
+}
+
+/// A synthetic instantiation of one workload: scaled-down weight and
+/// gradient matrices with realistic importance structure.
+#[derive(Clone, Debug)]
+pub struct SyntheticModel {
+    workload: Workload,
+    config: SyntheticModelConfig,
+    layers: LayerSet,
+    /// Scaled (rows, cols) of each weight matrix.
+    scaled_shapes: Vec<(usize, usize)>,
+}
+
+impl SyntheticModel {
+    /// Generates the synthetic model for a workload.
+    pub fn generate(workload: Workload, config: SyntheticModelConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let layer_scale_dist =
+            LogNormal::new(0.0, config.layer_spread).expect("valid log-normal");
+        let cluster_dist =
+            LogNormal::new(0.0, config.column_cluster_spread).expect("valid log-normal");
+
+        let mut names = Vec::new();
+        let mut weights = Vec::new();
+        let mut grads = Vec::new();
+        let mut scaled_shapes = Vec::new();
+
+        for gemm in &workload.prunable {
+            let rows = scale_dim(gemm.k, config.dim_divisor);
+            let cols = scale_dim(gemm.n, config.dim_divisor);
+            scaled_shapes.push((rows, cols));
+
+            let layer_scale = layer_scale_dist.sample(&mut rng) as f32;
+            // Column and row cluster strengths.
+            let num_col_clusters = cols.div_ceil(config.column_cluster_width.max(1));
+            let col_strength: Vec<f32> =
+                (0..num_col_clusters).map(|_| cluster_dist.sample(&mut rng) as f32).collect();
+            let row_dist =
+                LogNormal::new(0.0, config.row_cluster_spread).expect("valid log-normal");
+            let num_row_clusters = rows.div_ceil(config.row_cluster_width.max(1));
+            let row_strength: Vec<f32> =
+                (0..num_row_clusters).map(|_| row_dist.sample(&mut rng) as f32).collect();
+
+            let weight_noise = Normal::new(0.0f32, 1.0).expect("valid normal");
+            let grad_noise = Normal::new(0.0f32, 1.0).expect("valid normal");
+
+            let mut w = Matrix::zeros(rows, cols);
+            let mut g = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let col_cluster = col_strength[c / config.column_cluster_width.max(1)];
+                    let row_cluster = row_strength[r / config.row_cluster_width.max(1)];
+                    let structure = col_cluster * row_cluster;
+                    let scale = layer_scale * structure * 0.05;
+                    w.set(r, c, weight_noise.sample(&mut rng) * scale);
+                    // Gradients share the row/column structure (important
+                    // features receive larger gradients) plus independent
+                    // noise.
+                    g.set(r, c, grad_noise.sample(&mut rng) * structure * 0.01);
+                }
+            }
+            names.push(gemm.name.clone());
+            weights.push(w);
+            grads.push(g);
+        }
+
+        let layers = LayerSet::with_grads(names, weights, grads);
+        Self { workload, config, layers, scaled_shapes }
+    }
+
+    /// The workload this model instantiates.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &SyntheticModelConfig {
+        &self.config
+    }
+
+    /// The scaled-down layer set (weights + gradients) pruning operates on.
+    pub fn layers(&self) -> &LayerSet {
+        &self.layers
+    }
+
+    /// Mutable access for pruning / fine-tuning.
+    pub fn layers_mut(&mut self) -> &mut LayerSet {
+        &mut self.layers
+    }
+
+    /// A fresh copy of the layer set (pruning mutates weights, so sweeps over
+    /// several patterns each start from a clone).
+    pub fn fresh_layers(&self) -> LayerSet {
+        self.layers.clone()
+    }
+
+    /// Scaled (rows, cols) of weight matrix `i`.
+    pub fn scaled_shape(&self, i: usize) -> (usize, usize) {
+        self.scaled_shapes[i]
+    }
+
+    /// The ratio between the full K dimension of matrix `i` and its scaled
+    /// rows — used to map pruning decisions back onto the real shapes.
+    pub fn row_scale(&self, i: usize) -> f64 {
+        self.workload.prunable[i].k as f64 / self.scaled_shapes[i].0 as f64
+    }
+
+    /// The ratio between the full N dimension of matrix `i` and its scaled
+    /// columns.
+    pub fn col_scale(&self, i: usize) -> f64 {
+        self.workload.prunable[i].n as f64 / self.scaled_shapes[i].1 as f64
+    }
+
+    /// A fine-tuning hook for the multi-stage pruner: surviving weights are
+    /// nudged to partially compensate for the pruned ones (their magnitudes
+    /// grow slightly), which is the first-order effect of real fine-tuning.
+    pub fn fine_tune_hook(
+        recovery: f32,
+    ) -> impl FnMut(&mut LayerSet, &[tw_pruning::PatternMask], usize) {
+        move |layers, masks, _stage| {
+            for (w, mask) in layers.weights_mut().iter_mut().zip(masks) {
+                let boost = 1.0 + recovery * mask.sparsity() as f32;
+                for (v, &keep) in w.as_mut_slice().iter_mut().zip(mask.keep()) {
+                    if keep {
+                        *v *= boost;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn scale_dim(dim: usize, divisor: usize) -> usize {
+    (dim / divisor.max(1)).max(8).min(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ModelKind;
+    use tw_pruning::{analysis, ew, ImportanceMethod, SparsityTarget};
+
+    fn bert_model(seed: u64) -> SyntheticModel {
+        SyntheticModel::generate(
+            Workload::bert_base(8, 128),
+            SyntheticModelConfig::default_with_seed(seed),
+        )
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = bert_model(7);
+        let b = bert_model(7);
+        let c = bert_model(8);
+        assert_eq!(a.layers().weights()[0], b.layers().weights()[0]);
+        assert_ne!(a.layers().weights()[0], c.layers().weights()[0]);
+    }
+
+    #[test]
+    fn one_matrix_per_prunable_gemm() {
+        let m = bert_model(1);
+        assert_eq!(m.layers().len(), 72);
+        assert_eq!(m.layers().names()[0], "layer0.query");
+    }
+
+    #[test]
+    fn scaled_shapes_divide_real_shapes() {
+        let m = bert_model(2);
+        let (rows, cols) = m.scaled_shape(0);
+        assert_eq!(rows, 96); // 768 / 8
+        assert_eq!(cols, 96);
+        assert!((m.row_scale(0) - 8.0).abs() < 1e-12);
+        let ffn_up_idx = m
+            .workload()
+            .prunable
+            .iter()
+            .position(|g| g.name == "layer0.ffn_up")
+            .unwrap();
+        assert_eq!(m.scaled_shape(ffn_up_idx), (96, 384));
+    }
+
+    #[test]
+    fn global_ew_pruning_produces_uneven_per_matrix_sparsity() {
+        // The Fig. 5 effect must emerge from the synthetic importance
+        // structure: at a 75% global target, per-matrix sparsities spread
+        // widely instead of all being 0.75.
+        let m = bert_model(3);
+        let scores = m.layers().importance(ImportanceMethod::Taylor);
+        let masks = ew::prune_global(&scores, SparsityTarget::new(0.75));
+        let per = analysis::per_matrix_sparsity(&masks);
+        let min = per.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per.iter().cloned().fold(0.0, f64::max);
+        let spread = analysis::sparsity_unevenness(&masks);
+        assert!(max - min > 0.2, "per-matrix sparsity range too narrow: {min}..{max}");
+        assert!(spread > 0.05, "unevenness {spread}");
+        // The average still matches the global target.
+        let total: f64 = per.iter().sum::<f64>() / per.len() as f64;
+        assert!((total - 0.75).abs() < 0.1, "mean per-matrix sparsity {total}");
+    }
+
+    #[test]
+    fn column_clusters_make_some_columns_fully_prunable() {
+        // The Fig. 6 locality: at 75% EW sparsity a noticeable fraction of
+        // columns is pruned entirely.
+        let m = bert_model(4);
+        let scores = m.layers().importance(ImportanceMethod::Taylor);
+        let masks = ew::prune_global(&scores, SparsityTarget::new(0.75));
+        let mut full_cols = 0usize;
+        let mut total_cols = 0usize;
+        for mask in &masks {
+            for s in mask.col_sparsity() {
+                total_cols += 1;
+                if s >= 1.0 - 1e-12 {
+                    full_cols += 1;
+                }
+            }
+        }
+        let fraction = full_cols as f64 / total_cols as f64;
+        assert!(
+            fraction > 0.05,
+            "expected >5% of columns fully pruned at 75% EW sparsity, got {:.1}%",
+            fraction * 100.0
+        );
+    }
+
+    #[test]
+    fn other_workloads_generate() {
+        for kind in [ModelKind::Vgg16, ModelKind::Nmt] {
+            let w = Workload::paper_config(kind);
+            let n = w.prunable.len();
+            let m = SyntheticModel::generate(w, SyntheticModelConfig::default_with_seed(5));
+            assert_eq!(m.layers().len(), n);
+            assert!(m.layers().total_elements() > 0);
+        }
+    }
+
+    #[test]
+    fn fine_tune_hook_boosts_surviving_weights() {
+        let mut m = bert_model(6);
+        let scores = m.layers().importance(ImportanceMethod::Taylor);
+        let masks = ew::prune_global(&scores, SparsityTarget::new(0.5));
+        let before = m.layers().weights()[0].abs_sum();
+        m.layers_mut().apply_masks(&masks);
+        let after_mask = m.layers().weights()[0].abs_sum();
+        let mut hook = SyntheticModel::fine_tune_hook(0.2);
+        hook(m.layers_mut(), &masks, 0);
+        let after_hook = m.layers().weights()[0].abs_sum();
+        assert!(after_mask < before);
+        assert!(after_hook > after_mask);
+    }
+}

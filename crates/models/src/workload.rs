@@ -1,0 +1,434 @@
+//! Model workload definitions: the GEMM and non-GEMM operations of one
+//! forward pass of each evaluated network, with exact shapes.
+
+use tw_tensor::ConvShape;
+
+/// Which network a workload describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// BERT-base: 12 Transformer layers, hidden 768, 12 heads, FFN 3072.
+    BertBase,
+    /// VGG-16: 13 convolutional + 3 fully connected layers.
+    Vgg16,
+    /// The LSTM-based NMT model (attention encoder-decoder, hidden 512).
+    Nmt,
+    /// The small trainable MLP micro-task used for end-to-end validation.
+    Mlp,
+}
+
+impl ModelKind {
+    /// Human readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::BertBase => "BERT-base",
+            ModelKind::Vgg16 => "VGG-16",
+            ModelKind::Nmt => "NMT (LSTM)",
+            ModelKind::Mlp => "MLP micro-task",
+        }
+    }
+}
+
+/// A prunable weight GEMM: `C (m x n) = A (m x k) * W (k x n)` where `W` is a
+/// trained weight matrix that pruning operates on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrunableGemm {
+    /// Layer name, e.g. `layer3.attention.query`.
+    pub name: String,
+    /// Activation rows (tokens or output pixels).
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Output features.
+    pub n: usize,
+}
+
+impl PrunableGemm {
+    /// Number of weight parameters in this GEMM.
+    pub fn params(&self) -> usize {
+        self.k * self.n
+    }
+
+    /// FLOPs of the dense GEMM.
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.k as u64 * self.n as u64
+    }
+}
+
+/// A GEMM whose operands are both activations (e.g. the `QK^T` and
+/// `attention x V` products); it cannot be pruned but contributes latency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixedGemm {
+    /// Operation name.
+    pub name: String,
+    /// Rows.
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Columns.
+    pub n: usize,
+}
+
+impl FixedGemm {
+    /// FLOPs of this GEMM.
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.k as u64 * self.n as u64
+    }
+}
+
+/// A chain of element-wise / normalisation operations over a tensor (the
+/// "others" of Fig. 15: add-bias, GELU/ReLU, LayerNorm, softmax, residual
+/// adds).  `chain_len` consecutive ops can be fused into one kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuxOp {
+    /// Operation name.
+    pub name: String,
+    /// Number of tensor elements each op touches.
+    pub elements: usize,
+    /// Number of consecutive element-wise ops in the chain.
+    pub chain_len: usize,
+}
+
+/// One model's forward-pass workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Which model this is.
+    pub kind: ModelKind,
+    /// Display name including the batch configuration.
+    pub name: String,
+    /// The prunable weight GEMMs, in execution order.
+    pub prunable: Vec<PrunableGemm>,
+    /// Activation-activation GEMMs (not prunable).
+    pub fixed_gemms: Vec<FixedGemm>,
+    /// Non-GEMM operation chains.
+    pub aux_ops: Vec<AuxOp>,
+}
+
+impl Workload {
+    /// Total number of prunable weight parameters.
+    pub fn total_params(&self) -> usize {
+        self.prunable.iter().map(|g| g.params()).sum()
+    }
+
+    /// Total dense FLOPs of the prunable GEMMs.
+    pub fn prunable_flops(&self) -> u64 {
+        self.prunable.iter().map(|g| g.flops()).sum()
+    }
+
+    /// Total dense FLOPs including fixed GEMMs.
+    pub fn total_gemm_flops(&self) -> u64 {
+        self.prunable_flops() + self.fixed_gemms.iter().map(|g| g.flops()).sum::<u64>()
+    }
+
+    /// Number of prunable weight matrices.
+    pub fn num_weight_matrices(&self) -> usize {
+        self.prunable.len()
+    }
+
+    /// BERT-base (12 layers, hidden 768, 12 heads, FFN 3072) processing
+    /// `batch` sequences of `seq_len` tokens.  Per layer there are 6
+    /// prunable weight matrices (Q, K, V, output projection, FFN up, FFN
+    /// down), giving the 72 matrices of Fig. 5.
+    pub fn bert_base(batch: usize, seq_len: usize) -> Self {
+        let hidden = 768;
+        let ffn = 3072;
+        let heads = 12;
+        let layers = 12;
+        let m = batch * seq_len;
+        let head_dim = hidden / heads;
+
+        let mut prunable = Vec::new();
+        let mut fixed = Vec::new();
+        let mut aux = Vec::new();
+        for l in 0..layers {
+            for proj in ["query", "key", "value", "attention_output"] {
+                prunable.push(PrunableGemm {
+                    name: format!("layer{l}.{proj}"),
+                    m,
+                    k: hidden,
+                    n: hidden,
+                });
+            }
+            prunable.push(PrunableGemm {
+                name: format!("layer{l}.ffn_up"),
+                m,
+                k: hidden,
+                n: ffn,
+            });
+            prunable.push(PrunableGemm {
+                name: format!("layer{l}.ffn_down"),
+                m,
+                k: ffn,
+                n: hidden,
+            });
+            // Attention score and context GEMMs, batched over heads: each
+            // head computes (seq x head_dim) x (head_dim x seq) and
+            // (seq x seq) x (seq x head_dim).
+            fixed.push(FixedGemm {
+                name: format!("layer{l}.qk_t"),
+                m: batch * heads * seq_len,
+                k: head_dim,
+                n: seq_len,
+            });
+            fixed.push(FixedGemm {
+                name: format!("layer{l}.attn_v"),
+                m: batch * heads * seq_len,
+                k: seq_len,
+                n: head_dim,
+            });
+            // Non-GEMM: softmax over attention scores; add-bias + LayerNorm
+            // after attention output; add-bias + GELU + add-bias + LayerNorm
+            // around the FFN; residual adds.
+            aux.push(AuxOp {
+                name: format!("layer{l}.softmax"),
+                elements: batch * heads * seq_len * seq_len,
+                chain_len: 2,
+            });
+            aux.push(AuxOp {
+                name: format!("layer{l}.attn_bias_ln"),
+                elements: m * hidden,
+                chain_len: 3,
+            });
+            aux.push(AuxOp {
+                name: format!("layer{l}.ffn_gelu"),
+                elements: m * ffn,
+                chain_len: 2,
+            });
+            aux.push(AuxOp {
+                name: format!("layer{l}.ffn_bias_ln"),
+                elements: m * hidden,
+                chain_len: 3,
+            });
+        }
+        Self {
+            kind: ModelKind::BertBase,
+            name: format!("BERT-base b{batch} s{seq_len}"),
+            prunable,
+            fixed_gemms: fixed,
+            aux_ops: aux,
+        }
+    }
+
+    /// VGG-16 on 224x224 ImageNet inputs with the given batch size.  The 13
+    /// convolutions are lowered to GEMM with im2col (as the paper does); the
+    /// 3 fully connected layers are native GEMMs.
+    pub fn vgg16(batch: usize) -> Self {
+        // (in_channels, out_channels, spatial size) per conv layer.
+        let convs: [(usize, usize, usize); 13] = [
+            (3, 64, 224),
+            (64, 64, 224),
+            (64, 128, 112),
+            (128, 128, 112),
+            (128, 256, 56),
+            (256, 256, 56),
+            (256, 256, 56),
+            (256, 512, 28),
+            (512, 512, 28),
+            (512, 512, 28),
+            (512, 512, 14),
+            (512, 512, 14),
+            (512, 512, 14),
+        ];
+        let mut prunable = Vec::new();
+        let mut aux = Vec::new();
+        for (i, &(cin, cout, size)) in convs.iter().enumerate() {
+            let shape = ConvShape::square(cin, cout, size, 3);
+            prunable.push(PrunableGemm {
+                name: format!("conv{}_{}", i + 1, cout),
+                m: batch * shape.gemm_m(),
+                k: shape.gemm_k(),
+                n: shape.gemm_n(),
+            });
+            aux.push(AuxOp {
+                name: format!("conv{}_relu", i + 1),
+                elements: batch * shape.gemm_m() * cout,
+                chain_len: 2,
+            });
+        }
+        // Fully connected head: 512*7*7 -> 4096 -> 4096 -> 1000.
+        for (i, (k, n)) in [(512 * 7 * 7, 4096), (4096, 4096), (4096, 1000)].into_iter().enumerate()
+        {
+            prunable.push(PrunableGemm { name: format!("fc{}", i + 1), m: batch, k, n });
+            aux.push(AuxOp {
+                name: format!("fc{}_relu", i + 1),
+                elements: batch * n,
+                chain_len: 2,
+            });
+        }
+        Self {
+            kind: ModelKind::Vgg16,
+            name: format!("VGG-16 b{batch}"),
+            prunable,
+            fixed_gemms: Vec::new(),
+            aux_ops: aux,
+        }
+    }
+
+    /// The attention-based NMT model: a 2-layer LSTM encoder and a 2-layer
+    /// LSTM decoder with hidden size 512 plus an attention and projection
+    /// layer, translating `batch` sentences of `seq_len` tokens.
+    pub fn nmt(batch: usize, seq_len: usize) -> Self {
+        let hidden = 512;
+        let vocab = 17_000; // IWSLT En-Vi vocabulary scale.
+        let m = batch * seq_len;
+        let mut prunable = Vec::new();
+        let mut fixed = Vec::new();
+        let mut aux = Vec::new();
+        for side in ["encoder", "decoder"] {
+            for layer in 0..2 {
+                // The four LSTM gates are one fused GEMM: [x, h] (2*hidden)
+                // times 4*hidden.
+                prunable.push(PrunableGemm {
+                    name: format!("{side}.lstm{layer}.gates"),
+                    m,
+                    k: 2 * hidden,
+                    n: 4 * hidden,
+                });
+                aux.push(AuxOp {
+                    name: format!("{side}.lstm{layer}.cell"),
+                    elements: m * hidden,
+                    chain_len: 5, // sigmoid x3, tanh x2, elementwise products
+                });
+            }
+        }
+        // Attention: score GEMM (decoder states x encoder states) and context
+        // combination.
+        fixed.push(FixedGemm { name: "attention.scores".into(), m, k: hidden, n: seq_len });
+        fixed.push(FixedGemm { name: "attention.context".into(), m, k: seq_len, n: hidden });
+        prunable.push(PrunableGemm {
+            name: "attention.combine".into(),
+            m,
+            k: 2 * hidden,
+            n: hidden,
+        });
+        aux.push(AuxOp { name: "attention.softmax".into(), elements: m * seq_len, chain_len: 2 });
+        // Output projection to the vocabulary.
+        prunable.push(PrunableGemm { name: "output.projection".into(), m, k: hidden, n: vocab });
+        aux.push(AuxOp { name: "output.softmax".into(), elements: m * vocab, chain_len: 2 });
+        Self {
+            kind: ModelKind::Nmt,
+            name: format!("NMT b{batch} s{seq_len}"),
+            prunable,
+            fixed_gemms: fixed,
+            aux_ops: aux,
+        }
+    }
+
+    /// The paper's evaluation configuration for each model (batch sizes that
+    /// saturate a V100 for inference).
+    pub fn paper_config(kind: ModelKind) -> Self {
+        match kind {
+            ModelKind::BertBase => Self::bert_base(8, 128),
+            ModelKind::Vgg16 => Self::vgg16(8),
+            ModelKind::Nmt => Self::nmt(32, 30),
+            ModelKind::Mlp => Self {
+                kind: ModelKind::Mlp,
+                name: "MLP micro-task".to_string(),
+                prunable: vec![
+                    PrunableGemm { name: "fc1".into(), m: 256, k: 64, n: 128 },
+                    PrunableGemm { name: "fc2".into(), m: 256, k: 128, n: 4 },
+                ],
+                fixed_gemms: Vec::new(),
+                aux_ops: vec![AuxOp { name: "relu".into(), elements: 256 * 128, chain_len: 1 }],
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_has_72_weight_matrices() {
+        let w = Workload::bert_base(8, 128);
+        // "72 weight matrices in BERT, which has 12 layers and each layer
+        // has 6 weight matrices (4 for the self attention and 2 for FC)".
+        assert_eq!(w.num_weight_matrices(), 72);
+        assert_eq!(w.kind, ModelKind::BertBase);
+    }
+
+    #[test]
+    fn bert_parameter_count_matches_published_size() {
+        let w = Workload::bert_base(1, 128);
+        // Encoder weights of BERT-base: 12 * (4*768*768 + 2*768*3072)
+        // = 12 * 7.08M ~= 85M parameters.
+        let params = w.total_params();
+        assert_eq!(params, 12 * (4 * 768 * 768 + 2 * 768 * 3072));
+        assert!(params > 80_000_000 && params < 90_000_000);
+    }
+
+    #[test]
+    fn bert_gemm_shapes() {
+        let w = Workload::bert_base(8, 128);
+        let q = &w.prunable[0];
+        assert_eq!((q.m, q.k, q.n), (1024, 768, 768));
+        let ffn_up = w.prunable.iter().find(|g| g.name == "layer0.ffn_up").unwrap();
+        assert_eq!((ffn_up.k, ffn_up.n), (768, 3072));
+        // Attention score GEMMs exist and are not prunable.
+        assert_eq!(w.fixed_gemms.len(), 24);
+    }
+
+    #[test]
+    fn bert_non_gemm_share_is_significant() {
+        // The paper: "the BERT model spends about 39% time on non-GEMM
+        // kernels" — the workload must at least carry a large element count
+        // of aux ops relative to GEMM outputs.
+        let w = Workload::bert_base(8, 128);
+        let aux_elements: usize = w.aux_ops.iter().map(|a| a.elements * a.chain_len).sum();
+        assert!(aux_elements > 50_000_000, "aux elements {aux_elements}");
+    }
+
+    #[test]
+    fn vgg_has_16_prunable_layers() {
+        let w = Workload::vgg16(8);
+        assert_eq!(w.num_weight_matrices(), 16); // 13 conv + 3 FC
+        assert_eq!(w.kind, ModelKind::Vgg16);
+        // VGG-16 has ~138M parameters, most of them in fc1.
+        let params = w.total_params();
+        assert!(params > 130_000_000 && params < 145_000_000, "params {params}");
+    }
+
+    #[test]
+    fn vgg_conv_lowering_shapes() {
+        let w = Workload::vgg16(1);
+        let c1 = &w.prunable[0];
+        assert_eq!((c1.m, c1.k, c1.n), (224 * 224, 27, 64));
+        let c13 = &w.prunable[12];
+        assert_eq!((c13.m, c13.k, c13.n), (14 * 14, 512 * 9, 512));
+        let fc1 = w.prunable.iter().find(|g| g.name == "fc1").unwrap();
+        assert_eq!((fc1.k, fc1.n), (25088, 4096));
+    }
+
+    #[test]
+    fn nmt_structure() {
+        let w = Workload::nmt(32, 30);
+        // 4 LSTM gate GEMMs (2 encoder + 2 decoder layers) + attention
+        // combine + output projection.
+        assert_eq!(w.num_weight_matrices(), 6);
+        let gates = &w.prunable[0];
+        assert_eq!((gates.k, gates.n), (1024, 2048));
+        let proj = w.prunable.last().unwrap();
+        assert_eq!(proj.n, 17_000);
+    }
+
+    #[test]
+    fn paper_configs_exist_for_all_kinds() {
+        for kind in [ModelKind::BertBase, ModelKind::Vgg16, ModelKind::Nmt, ModelKind::Mlp] {
+            let w = Workload::paper_config(kind);
+            assert_eq!(w.kind, kind);
+            assert!(!w.prunable.is_empty());
+            assert!(w.total_params() > 0);
+            assert!(w.prunable_flops() > 0);
+            assert!(w.total_gemm_flops() >= w.prunable_flops());
+        }
+    }
+
+    #[test]
+    fn flops_scale_with_batch() {
+        let small = Workload::bert_base(1, 128);
+        let large = Workload::bert_base(8, 128);
+        assert_eq!(large.prunable_flops(), 8 * small.prunable_flops());
+        // Parameters do not change with batch.
+        assert_eq!(large.total_params(), small.total_params());
+    }
+}

@@ -1,0 +1,159 @@
+//! Apriori tuning (Algorithm 2).
+//!
+//! The EW pattern at the target sparsity is the best achievable allocation of
+//! the pruning budget.  The paper observes "a strong locality pattern, where
+//! more than 10% tiles (columns) are completely pruned when the pruning
+//! target sparsity is 75%", and uses that EW result as prior knowledge: the
+//! top-n columns that EW prunes hardest get importance score 0 (prune them
+//! first) and the last-n columns that EW keeps densest get score +inf (never
+//! prune them in the column phase).
+
+use crate::importance::{largest_k_indices, smallest_k_indices, ImportanceScores};
+use crate::pattern::{PatternMask, SparsityTarget};
+use std::collections::HashSet;
+
+/// How aggressively apriori tuning pins columns at the two extremes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AprioriConfig {
+    /// Fraction of columns (per matrix) flagged as "prune first" — the
+    /// paper's top-n with the highest EW sparsity.
+    pub top_n_fraction: f64,
+    /// Fraction of columns (per matrix) flagged as "never prune" — the
+    /// paper's last-n with the lowest EW sparsity.
+    pub last_n_fraction: f64,
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        // 10% pinned on each side, matching the paper's observation that
+        // over 10% of columns are fully pruned by EW at 75% sparsity.
+        Self { top_n_fraction: 0.10, last_n_fraction: 0.10 }
+    }
+}
+
+/// Per-matrix column hints produced by apriori tuning and consumed by the
+/// TW column-pruning phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AprioriHints {
+    /// Columns whose tile score is forced to zero (pruned first).
+    pub force_prune: HashSet<usize>,
+    /// Columns whose tile score is forced to +inf (never pruned by the
+    /// column phase).
+    pub protect: HashSet<usize>,
+}
+
+/// Runs EW pruning at the target sparsity and derives per-column hints for
+/// every matrix (Algorithm 2, lifted to the multi-matrix global setting).
+pub fn derive_hints(
+    scores: &[ImportanceScores],
+    target: SparsityTarget,
+    cfg: &AprioriConfig,
+) -> Vec<AprioriHints> {
+    let ew_masks = crate::ew::prune_global(scores, target);
+    hints_from_ew(&ew_masks, cfg)
+}
+
+/// Derives hints from precomputed EW masks (useful when the caller already
+/// ran EW, e.g. the multi-stage scheduler reuses one EW solve per stage).
+pub fn hints_from_ew(ew_masks: &[PatternMask], cfg: &AprioriConfig) -> Vec<AprioriHints> {
+    ew_masks
+        .iter()
+        .map(|mask| {
+            let col_sparsity = mask.col_sparsity();
+            let n = col_sparsity.len();
+            let top_n = (cfg.top_n_fraction * n as f64).round() as usize;
+            let last_n = (cfg.last_n_fraction * n as f64).round() as usize;
+            // Columns EW prunes hardest -> force prune.
+            let force_prune: HashSet<usize> =
+                largest_k_indices(&col_sparsity, top_n).into_iter().collect();
+            // Columns EW keeps densest -> protect.
+            let protect: HashSet<usize> = smallest_k_indices(&col_sparsity, last_n)
+                .into_iter()
+                .filter(|c| !force_prune.contains(c))
+                .collect();
+            AprioriHints { force_prune, protect }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tw::{self, TileWiseConfig};
+    use tw_tensor::Matrix;
+
+    fn clustered_scores(seed: u64) -> ImportanceScores {
+        // Half the columns carry low importance with high variance; EW will
+        // hollow them out almost completely.
+        let base = Matrix::random_uniform(64, 64, 1.0, seed);
+        let m = Matrix::from_fn(64, 64, |r, c| {
+            let v = base.get(r, c).abs();
+            if c % 2 == 0 {
+                v * 0.05
+            } else {
+                v + 0.5
+            }
+        });
+        ImportanceScores::from_matrix(m)
+    }
+
+    #[test]
+    fn hints_flag_extreme_columns() {
+        let scores = vec![clustered_scores(1)];
+        let hints = derive_hints(&scores, SparsityTarget::new(0.75), &AprioriConfig::default());
+        assert_eq!(hints.len(), 1);
+        let h = &hints[0];
+        assert!(!h.force_prune.is_empty());
+        assert!(!h.protect.is_empty());
+        // Force-pruned columns must be the weak (even) ones; protected
+        // columns must be strong (odd) ones.
+        assert!(h.force_prune.iter().all(|c| c % 2 == 0), "force_prune {:?}", h.force_prune);
+        assert!(h.protect.iter().all(|c| c % 2 == 1), "protect {:?}", h.protect);
+    }
+
+    #[test]
+    fn force_and_protect_are_disjoint() {
+        let scores = vec![clustered_scores(2), clustered_scores(3)];
+        let hints = derive_hints(&scores, SparsityTarget::new(0.6), &AprioriConfig::default());
+        for h in &hints {
+            assert!(h.force_prune.is_disjoint(&h.protect));
+        }
+    }
+
+    #[test]
+    fn fractions_control_counts() {
+        let scores = vec![clustered_scores(4)];
+        let cfg = AprioriConfig { top_n_fraction: 0.25, last_n_fraction: 0.125 };
+        let hints = derive_hints(&scores, SparsityTarget::new(0.75), &cfg);
+        assert_eq!(hints[0].force_prune.len(), 16);
+        assert!(hints[0].protect.len() <= 8);
+    }
+
+    #[test]
+    fn apriori_tuning_does_not_reduce_retained_importance() {
+        // With clustered importance, TW + apriori should retain at least as
+        // much importance as TW alone (it pushes the column phase towards
+        // the columns EW would have emptied anyway).
+        let scores = vec![clustered_scores(5)];
+        let cfg = TileWiseConfig::with_granularity(16);
+        let target = SparsityTarget::new(0.75);
+        let plain = tw::prune_global(&scores, &cfg, target, None);
+        let hints = derive_hints(&scores, target, &AprioriConfig::default());
+        let tuned = tw::prune_global(&scores, &cfg, target, Some(&hints));
+        let plain_ret = plain[0].to_pattern_mask().retained_importance(&scores[0]);
+        let tuned_ret = tuned[0].to_pattern_mask().retained_importance(&scores[0]);
+        assert!(
+            tuned_ret >= plain_ret - 0.02,
+            "apriori tuning lost importance: plain {plain_ret} tuned {tuned_ret}"
+        );
+    }
+
+    #[test]
+    fn zero_fractions_produce_empty_hints() {
+        let scores = vec![clustered_scores(6)];
+        let cfg = AprioriConfig { top_n_fraction: 0.0, last_n_fraction: 0.0 };
+        let hints = derive_hints(&scores, SparsityTarget::new(0.5), &cfg);
+        assert!(hints[0].force_prune.is_empty());
+        assert!(hints[0].protect.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Block-wise (BW) pruning.
+//!
+//! BW "divides the weight matrix to small blocks, and treats a block as the
+//! basic pruning unit" (Sec. III-A).  Blocks are ranked by their aggregate
+//! importance and the lowest-scoring fraction is removed; the survivors run
+//! as small dense GEMMs (BlockSparse).
+
+use crate::importance::{smallest_k_indices, ImportanceScores};
+use crate::pattern::{PatternMask, SparsityTarget};
+
+/// Identifies one block inside one matrix of a global pruning problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct BlockRef {
+    matrix: usize,
+    block_row: usize,
+    block_col: usize,
+}
+
+/// Prunes a single weight matrix block-wise to the target sparsity.
+pub fn prune(scores: &ImportanceScores, block_size: usize, target: SparsityTarget) -> PatternMask {
+    prune_global(std::slice::from_ref(scores), block_size, target)
+        .pop()
+        .expect("one mask per matrix")
+}
+
+/// Prunes several matrices block-wise with a global rank across all blocks
+/// of all matrices, mirroring the global ranking used for TW so the
+/// comparison between the two patterns is apples-to-apples.
+pub fn prune_global(
+    scores: &[ImportanceScores],
+    block_size: usize,
+    target: SparsityTarget,
+) -> Vec<PatternMask> {
+    assert!(block_size > 0, "block size must be positive");
+
+    let mut block_refs = Vec::new();
+    let mut block_scores = Vec::new();
+    for (mi, s) in scores.iter().enumerate() {
+        let (rows, cols) = s.shape();
+        let brs = rows.div_ceil(block_size);
+        let bcs = cols.div_ceil(block_size);
+        for br in 0..brs {
+            for bc in 0..bcs {
+                block_refs.push(BlockRef { matrix: mi, block_row: br, block_col: bc });
+                block_scores.push(s.block_sum(br * block_size, bc * block_size, block_size));
+            }
+        }
+    }
+
+    // Prune the lowest-scoring fraction of blocks.  Because edge blocks can
+    // be smaller, we prune by block count (what BlockSparse's block-level
+    // sparsity means) rather than element count.
+    let prune_count = (target.fraction() * block_refs.len() as f64).round() as usize;
+    let pruned_blocks = smallest_k_indices(&block_scores, prune_count);
+
+    let mut masks: Vec<PatternMask> =
+        scores.iter().map(|s| PatternMask::keep_all(s.rows(), s.cols())).collect();
+    for idx in pruned_blocks {
+        let bref = block_refs[idx];
+        let s = &scores[bref.matrix];
+        let mask = &mut masks[bref.matrix];
+        let r0 = bref.block_row * block_size;
+        let c0 = bref.block_col * block_size;
+        for r in r0..(r0 + block_size).min(s.rows()) {
+            for c in c0..(c0 + block_size).min(s.cols()) {
+                mask.prune(r, c);
+            }
+        }
+    }
+    masks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_tensor::Matrix;
+
+    #[test]
+    fn prunes_whole_blocks() {
+        let scores = ImportanceScores::magnitude(&Matrix::random_uniform(8, 8, 1.0, 1));
+        let mask = prune(&scores, 4, SparsityTarget::new(0.5));
+        // 4 blocks of 4x4, half pruned -> 2 blocks fully zero.
+        assert_eq!(mask.pruned_count(), 32);
+        // Check each block is either fully kept or fully pruned.
+        for br in 0..2 {
+            for bc in 0..2 {
+                let kept: usize = (0..4)
+                    .flat_map(|i| (0..4).map(move |j| (br * 4 + i, bc * 4 + j)))
+                    .filter(|&(r, c)| mask.keeps(r, c))
+                    .count();
+                assert!(kept == 0 || kept == 16, "block ({br},{bc}) is partially pruned");
+            }
+        }
+    }
+
+    #[test]
+    fn prunes_lowest_scoring_blocks() {
+        // Top-left block has large scores, the rest small.
+        let scores = ImportanceScores::from_matrix(Matrix::from_fn(4, 4, |r, c| {
+            if r < 2 && c < 2 {
+                10.0
+            } else {
+                0.1
+            }
+        }));
+        let mask = prune(&scores, 2, SparsityTarget::new(0.25));
+        // Exactly one of the low-score blocks gets pruned, never the
+        // top-left one.
+        assert!(mask.keeps(0, 0));
+        assert_eq!(mask.pruned_count(), 4);
+    }
+
+    #[test]
+    fn block_size_one_is_element_wise() {
+        let scores = ImportanceScores::magnitude(&Matrix::random_uniform(10, 10, 1.0, 2));
+        let bw = prune(&scores, 1, SparsityTarget::new(0.4));
+        let ew = crate::ew::prune(&scores, SparsityTarget::new(0.4));
+        assert_eq!(bw, ew);
+    }
+
+    #[test]
+    fn global_ranking_shifts_budget_between_matrices() {
+        let weak = ImportanceScores::from_matrix(Matrix::filled(8, 8, 0.1));
+        let strong = ImportanceScores::from_matrix(Matrix::filled(8, 8, 5.0));
+        let masks = prune_global(&[weak, strong], 4, SparsityTarget::new(0.5));
+        assert_eq!(masks[0].sparsity(), 1.0);
+        assert_eq!(masks[1].sparsity(), 0.0);
+    }
+
+    #[test]
+    fn non_multiple_dimensions() {
+        let scores = ImportanceScores::magnitude(&Matrix::random_uniform(10, 6, 1.0, 3));
+        let mask = prune(&scores, 4, SparsityTarget::new(0.5));
+        // 3 block rows x 2 block cols = 6 blocks, 3 pruned.
+        // The achieved element sparsity depends on which blocks are edge
+        // blocks, but the mask must stay consistent block-wise.
+        assert!(mask.sparsity() > 0.0 && mask.sparsity() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_block_size_panics() {
+        let scores = ImportanceScores::magnitude(&Matrix::zeros(4, 4));
+        let _ = prune(&scores, 0, SparsityTarget::new(0.5));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tw_tensor::Matrix;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Blocks are always pruned atomically: within any block, either all
+        /// elements are kept or all are pruned.
+        #[test]
+        fn blocks_are_atomic(rows in 1usize..20, cols in 1usize..20, bs in 1usize..6,
+                             target in 0.0f64..0.99, seed in any::<u64>()) {
+            let scores = ImportanceScores::magnitude(&Matrix::random_uniform(rows, cols, 1.0, seed));
+            let mask = prune(&scores, bs, SparsityTarget::new(target));
+            for br in 0..rows.div_ceil(bs) {
+                for bc in 0..cols.div_ceil(bs) {
+                    let mut kept = 0usize;
+                    let mut total = 0usize;
+                    for r in br*bs..((br+1)*bs).min(rows) {
+                        for c in bc*bs..((bc+1)*bs).min(cols) {
+                            total += 1;
+                            if mask.keeps(r, c) { kept += 1; }
+                        }
+                    }
+                    prop_assert!(kept == 0 || kept == total);
+                }
+            }
+        }
+
+        /// BW retains no more importance than EW at the same achieved
+        /// sparsity (EW is the upper bound).
+        #[test]
+        fn bw_bounded_by_ew(rows in 4usize..16, cols in 4usize..16, bs in 2usize..5,
+                            target in 0.1f64..0.9, seed in any::<u64>()) {
+            let scores = ImportanceScores::magnitude(&Matrix::random_uniform(rows, cols, 1.0, seed));
+            let bw_mask = prune(&scores, bs, SparsityTarget::new(target));
+            let achieved = bw_mask.sparsity();
+            if achieved > 0.0 && achieved < 1.0 {
+                let ew_mask = crate::ew::prune(&scores, SparsityTarget::new(achieved.min(0.999)));
+                prop_assert!(
+                    ew_mask.retained_importance(&scores) + 1e-9
+                        >= bw_mask.retained_importance(&scores)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Element-wise (EW) pruning — unstructured pruning by global score rank.
+//!
+//! EW imposes no constraint on the sparsity pattern and therefore retains the
+//! most importance for a given sparsity; it is the accuracy upper bound every
+//! other pattern is compared against (Sec. III-A).
+
+use crate::importance::{smallest_k_indices, ImportanceScores};
+use crate::pattern::{PatternMask, SparsityTarget};
+
+/// Prunes a single weight matrix element-wise to the target sparsity.
+///
+/// Exactly `target.count_of(total)` elements with the smallest importance
+/// scores are removed.
+pub fn prune(scores: &ImportanceScores, target: SparsityTarget) -> PatternMask {
+    let (rows, cols) = scores.shape();
+    let total = rows * cols;
+    let values: Vec<f64> = scores.as_slice().iter().map(|&v| v as f64).collect();
+    let prune_count = target.count_of(total);
+    let mut keep = vec![true; total];
+    for idx in smallest_k_indices(&values, prune_count) {
+        keep[idx] = false;
+    }
+    PatternMask::new(rows, cols, keep)
+}
+
+/// Prunes a set of weight matrices element-wise with a *global* rank across
+/// all of them, which is how the paper prunes BERT's 72 matrices ("the
+/// importance score of all elements in the 72 weight matrices are calculated
+/// and globally ranked").  The per-matrix sparsities that result are uneven —
+/// exactly the effect Fig. 5 shows.
+pub fn prune_global(scores: &[ImportanceScores], target: SparsityTarget) -> Vec<PatternMask> {
+    // Flatten all scores, remembering which matrix and offset they came from.
+    let mut all: Vec<f64> = Vec::new();
+    let mut offsets = Vec::with_capacity(scores.len());
+    for s in scores {
+        offsets.push(all.len());
+        all.extend(s.as_slice().iter().map(|&v| v as f64));
+    }
+    let prune_count = target.count_of(all.len());
+    let pruned = smallest_k_indices(&all, prune_count);
+
+    let mut keeps: Vec<Vec<bool>> = scores.iter().map(|s| vec![true; s.as_slice().len()]).collect();
+    for idx in pruned {
+        // Find which matrix this flat index belongs to.
+        let mi = match offsets.binary_search(&idx) {
+            Ok(exact) => exact,
+            Err(insert) => insert - 1,
+        };
+        keeps[mi][idx - offsets[mi]] = false;
+    }
+    scores
+        .iter()
+        .zip(keeps)
+        .map(|(s, keep)| {
+            let (r, c) = s.shape();
+            PatternMask::new(r, c, keep)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_tensor::Matrix;
+
+    #[test]
+    fn prunes_exact_count() {
+        let scores = ImportanceScores::magnitude(&Matrix::random_uniform(16, 16, 1.0, 1));
+        let mask = prune(&scores, SparsityTarget::new(0.75));
+        assert_eq!(mask.pruned_count(), 192);
+        assert!((mask.sparsity() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prunes_smallest_scores_first() {
+        let scores = ImportanceScores::from_matrix(Matrix::from_rows(&[
+            &[0.1, 0.9],
+            &[0.5, 0.01],
+        ]));
+        let mask = prune(&scores, SparsityTarget::new(0.5));
+        assert!(!mask.keeps(1, 1)); // 0.01 pruned
+        assert!(!mask.keeps(0, 0)); // 0.1 pruned
+        assert!(mask.keeps(0, 1));
+        assert!(mask.keeps(1, 0));
+    }
+
+    #[test]
+    fn zero_target_prunes_nothing() {
+        let scores = ImportanceScores::magnitude(&Matrix::random_uniform(8, 8, 1.0, 2));
+        let mask = prune(&scores, SparsityTarget::new(0.0));
+        assert_eq!(mask.pruned_count(), 0);
+    }
+
+    #[test]
+    fn ew_retains_the_most_importance() {
+        // EW at sparsity s keeps exactly the top (1-s) fraction of scores, so
+        // no other mask of the same sparsity can retain more.
+        let scores = ImportanceScores::magnitude(&Matrix::random_uniform(20, 20, 1.0, 3));
+        let mask = prune(&scores, SparsityTarget::new(0.6));
+        let retained = mask.retained_importance(&scores);
+
+        // Compare against a random mask of the same sparsity.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut indices: Vec<usize> = (0..400).collect();
+        indices.shuffle(&mut rng);
+        let mut keep = vec![true; 400];
+        for &i in indices.iter().take(240) {
+            keep[i] = false;
+        }
+        let random_mask = PatternMask::new(20, 20, keep);
+        assert!(retained >= random_mask.retained_importance(&scores));
+    }
+
+    #[test]
+    fn global_pruning_is_uneven_across_matrices() {
+        // One matrix with uniformly small scores, one with uniformly large
+        // scores: global ranking should prune the small-score matrix much
+        // harder (the Fig. 5 effect).
+        let small = ImportanceScores::from_matrix(Matrix::filled(16, 16, 0.1));
+        let large = ImportanceScores::from_matrix(Matrix::filled(16, 16, 10.0));
+        let masks = prune_global(&[small, large], SparsityTarget::new(0.5));
+        assert!(masks[0].sparsity() > 0.95);
+        assert!(masks[1].sparsity() < 0.05);
+        // Total pruned count is still the target.
+        let pruned: usize = masks.iter().map(|m| m.pruned_count()).sum();
+        assert_eq!(pruned, 256);
+    }
+
+    #[test]
+    fn global_pruning_matches_single_matrix_when_one_input() {
+        let scores = ImportanceScores::magnitude(&Matrix::random_uniform(12, 12, 1.0, 4));
+        let single = prune(&scores, SparsityTarget::new(0.3));
+        let global = prune_global(std::slice::from_ref(&scores), SparsityTarget::new(0.3));
+        assert_eq!(global.len(), 1);
+        assert_eq!(global[0], single);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tw_tensor::Matrix;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Achieved sparsity matches the target to within one element.
+        #[test]
+        fn sparsity_matches_target(rows in 1usize..20, cols in 1usize..20,
+                                   target in 0.0f64..0.99, seed in any::<u64>()) {
+            let scores = ImportanceScores::magnitude(&Matrix::random_uniform(rows, cols, 1.0, seed));
+            let mask = prune(&scores, SparsityTarget::new(target));
+            let total = (rows * cols) as f64;
+            prop_assert!((mask.sparsity() - target).abs() <= 1.0 / total + 1e-9);
+        }
+
+        /// Every kept element's score is >= every pruned element's score.
+        #[test]
+        fn kept_scores_dominate_pruned(rows in 2usize..12, cols in 2usize..12,
+                                       target in 0.1f64..0.9, seed in any::<u64>()) {
+            let scores = ImportanceScores::magnitude(&Matrix::random_uniform(rows, cols, 1.0, seed));
+            let mask = prune(&scores, SparsityTarget::new(target));
+            let mut max_pruned = f64::NEG_INFINITY;
+            let mut min_kept = f64::INFINITY;
+            for r in 0..rows {
+                for c in 0..cols {
+                    let s = scores.get(r, c) as f64;
+                    if mask.keeps(r, c) { min_kept = min_kept.min(s); } else { max_pruned = max_pruned.max(s); }
+                }
+            }
+            if max_pruned.is_finite() && min_kept.is_finite() {
+                prop_assert!(max_pruned <= min_kept + 1e-9);
+            }
+        }
+    }
+}

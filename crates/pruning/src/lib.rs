@@ -1,0 +1,36 @@
+//! Network pruning: importance scores, sparsity patterns and the tile-wise
+//! pruning algorithm.
+//!
+//! This crate implements Sec. III-V of the paper:
+//!
+//! * [`importance`] — importance score computation: weight magnitude and the
+//!   first-order Taylor score `|w * dL/dw|` (Eq. 1-3).
+//! * [`pattern`] — the sparsity-pattern taxonomy (EW / VW / BW / TW / TEW) and
+//!   the [`PatternMask`] every pruner produces.
+//! * [`ew`], [`vw`], [`bw`] — the three baseline patterns of Fig. 2.
+//! * [`tw`] — the proposed tile-wise pattern: column-then-row pruning per
+//!   tile with global (cross-layer) ranking (Fig. 4, Algorithm 1).
+//! * [`tew`] — the hybrid tile-element-wise overlay (Fig. 4 ③).
+//! * [`apriori`] — Algorithm 2, apriori tuning seeded from EW results.
+//! * [`schedule`] — the multi-stage pruning driver with per-stage fine-tuning
+//!   hooks and dynamic, global sparsity-budget allocation across layers.
+//! * [`analysis`] — the sparsity-distribution analytics behind Figs. 5, 6
+//!   and 13.
+
+pub mod analysis;
+pub mod apriori;
+pub mod bw;
+pub mod ew;
+pub mod importance;
+pub mod pattern;
+pub mod schedule;
+pub mod tew;
+pub mod tw;
+pub mod vw;
+
+pub use apriori::AprioriConfig;
+pub use importance::{ImportanceMethod, ImportanceScores};
+pub use pattern::{PatternMask, PruningPattern, SparsityTarget};
+pub use schedule::{LayerSet, MultiStageConfig, MultiStagePruner, PruneStageReport};
+pub use tew::TewMask;
+pub use tw::{TileWiseConfig, TileWiseMask, TwTile};

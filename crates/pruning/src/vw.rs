@@ -1,0 +1,154 @@
+//! Vector-wise (VW) pruning.
+//!
+//! VW "divides a column in the weight matrix to multiple vectors.  Within
+//! each vector, it prunes a fixed portion of elements by the rank of their
+//! importance scores" (Sec. III-A).  Every vector ends up with the same
+//! sparsity, which is precisely why VW cannot adapt to the uneven sparsity
+//! distribution that TW exploits (Sec. IV-B).
+
+use crate::importance::{smallest_k_indices, ImportanceScores};
+use crate::pattern::{PatternMask, SparsityTarget};
+
+/// Prunes a weight matrix vector-wise: each column is cut into vectors of
+/// `vector_size` contiguous rows and the same fraction is pruned in every
+/// vector.
+///
+/// # Panics
+/// Panics if `vector_size` is zero.
+pub fn prune(scores: &ImportanceScores, vector_size: usize, target: SparsityTarget) -> PatternMask {
+    assert!(vector_size > 0, "vector size must be positive");
+    let (rows, cols) = scores.shape();
+    let mut keep = vec![true; rows * cols];
+    for c in 0..cols {
+        let mut r0 = 0;
+        while r0 < rows {
+            let r1 = (r0 + vector_size).min(rows);
+            let vec_len = r1 - r0;
+            let vec_scores: Vec<f64> = (r0..r1).map(|r| scores.get(r, c) as f64).collect();
+            // The same number of elements is pruned in every (full) vector.
+            let prune_count = (target.fraction() * vec_len as f64).round() as usize;
+            for local in smallest_k_indices(&vec_scores, prune_count) {
+                keep[(r0 + local) * cols + c] = false;
+            }
+            r0 = r1;
+        }
+    }
+    PatternMask::new(rows, cols, keep)
+}
+
+/// Prunes several matrices independently (VW has no global ranking — that is
+/// its key limitation versus TW).
+pub fn prune_all(
+    scores: &[ImportanceScores],
+    vector_size: usize,
+    target: SparsityTarget,
+) -> Vec<PatternMask> {
+    scores.iter().map(|s| prune(s, vector_size, target)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_tensor::Matrix;
+
+    #[test]
+    fn every_vector_has_same_sparsity() {
+        let scores = ImportanceScores::magnitude(&Matrix::random_uniform(32, 8, 1.0, 1));
+        let mask = prune(&scores, 16, SparsityTarget::new(0.5));
+        // Each 16-element vector must have exactly 8 pruned entries.
+        for c in 0..8 {
+            for v in 0..2 {
+                let pruned = (v * 16..(v + 1) * 16).filter(|&r| !mask.keeps(r, c)).count();
+                assert_eq!(pruned, 8, "col {c} vector {v}");
+            }
+        }
+        assert!((mask.sparsity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prunes_lowest_scores_within_vector() {
+        // Column with strictly increasing scores: the first half of each
+        // vector must be pruned.
+        let scores = ImportanceScores::from_matrix(Matrix::from_fn(8, 1, |r, _| (r + 1) as f32));
+        let mask = prune(&scores, 4, SparsityTarget::new(0.5));
+        assert!(!mask.keeps(0, 0));
+        assert!(!mask.keeps(1, 0));
+        assert!(mask.keeps(2, 0));
+        assert!(mask.keeps(3, 0));
+        assert!(!mask.keeps(4, 0));
+        assert!(!mask.keeps(5, 0));
+        assert!(mask.keeps(6, 0));
+        assert!(mask.keeps(7, 0));
+    }
+
+    #[test]
+    fn partial_trailing_vector_is_handled() {
+        // 10 rows with vector size 4: last vector has 2 elements.
+        let scores = ImportanceScores::magnitude(&Matrix::random_uniform(10, 3, 1.0, 2));
+        let mask = prune(&scores, 4, SparsityTarget::new(0.5));
+        // Each full vector prunes 2, the trailing 2-element vector prunes 1.
+        for c in 0..3 {
+            let pruned = (0..10).filter(|&r| !mask.keeps(r, c)).count();
+            assert_eq!(pruned, 5, "col {c}");
+        }
+    }
+
+    #[test]
+    fn vw_cannot_adapt_to_uneven_columns() {
+        // One very important column and one unimportant column: VW still
+        // prunes them equally (this is the limitation TW fixes).
+        let scores = ImportanceScores::from_matrix(Matrix::from_fn(16, 2, |_, c| {
+            if c == 0 {
+                10.0
+            } else {
+                0.1
+            }
+        }));
+        let mask = prune(&scores, 16, SparsityTarget::new(0.5));
+        let col0_pruned = (0..16).filter(|&r| !mask.keeps(r, 0)).count();
+        let col1_pruned = (0..16).filter(|&r| !mask.keeps(r, 1)).count();
+        assert_eq!(col0_pruned, col1_pruned);
+    }
+
+    #[test]
+    fn prune_all_processes_each_matrix() {
+        let a = ImportanceScores::magnitude(&Matrix::random_uniform(16, 4, 1.0, 3));
+        let b = ImportanceScores::magnitude(&Matrix::random_uniform(16, 4, 1.0, 4));
+        let masks = prune_all(&[a, b], 8, SparsityTarget::new(0.25));
+        assert_eq!(masks.len(), 2);
+        for m in &masks {
+            assert!((m.sparsity() - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_vector_size_panics() {
+        let scores = ImportanceScores::magnitude(&Matrix::zeros(4, 4));
+        let _ = prune(&scores, 0, SparsityTarget::new(0.5));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tw_tensor::Matrix;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// When the vector size divides the row count, the achieved sparsity
+        /// is exactly round(V*s)/V regardless of the data.
+        #[test]
+        fn sparsity_is_uniform(v_exp in 1usize..4, n_vecs in 1usize..6, cols in 1usize..8,
+                               target in 0.0f64..0.99, seed in any::<u64>()) {
+            let v = 1 << v_exp; // 2,4,8
+            let rows = v * n_vecs;
+            let scores = ImportanceScores::magnitude(&Matrix::random_uniform(rows, cols, 1.0, seed));
+            let mask = prune(&scores, v, SparsityTarget::new(target));
+            let per_vec = (target * v as f64).round() as usize;
+            prop_assert_eq!(mask.pruned_count(), per_vec * n_vecs * cols);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Row/column keep-masks.
+//!
+//! The tile-wise execution stores, per weight tile, two mask vectors
+//! (`mask_k`, `mask_n` in Listing 1) describing which rows and columns of the
+//! tile survived pruning.  [`RowColMask`] is that pair, together with the
+//! bookkeeping the planner and the GPU cost model need (survivor counts,
+//! mask storage bytes).
+
+/// A pair of keep-masks over the rows (K dimension) and columns (N dimension)
+/// of a weight tile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowColMask {
+    rows: Vec<bool>,
+    cols: Vec<bool>,
+}
+
+impl RowColMask {
+    /// A mask that keeps everything.
+    pub fn keep_all(rows: usize, cols: usize) -> Self {
+        Self { rows: vec![true; rows], cols: vec![true; cols] }
+    }
+
+    /// Builds a mask from explicit keep vectors.
+    pub fn new(rows: Vec<bool>, cols: Vec<bool>) -> Self {
+        Self { rows, cols }
+    }
+
+    /// Number of rows covered by the mask.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns covered by the mask.
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Row keep-mask (the paper's `mask_k`).
+    pub fn row_mask(&self) -> &[bool] {
+        &self.rows
+    }
+
+    /// Column keep-mask (the paper's `mask_n`).
+    pub fn col_mask(&self) -> &[bool] {
+        &self.cols
+    }
+
+    /// Marks row `r` as pruned.
+    pub fn prune_row(&mut self, r: usize) {
+        self.rows[r] = false;
+    }
+
+    /// Marks column `c` as pruned.
+    pub fn prune_col(&mut self, c: usize) {
+        self.cols[c] = false;
+    }
+
+    /// Number of surviving rows.
+    pub fn kept_rows(&self) -> usize {
+        self.rows.iter().filter(|&&k| k).count()
+    }
+
+    /// Number of surviving columns.
+    pub fn kept_cols(&self) -> usize {
+        self.cols.iter().filter(|&&k| k).count()
+    }
+
+    /// Indices of surviving rows, in order.
+    pub fn kept_row_indices(&self) -> Vec<usize> {
+        self.rows.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)).collect()
+    }
+
+    /// Indices of surviving columns, in order.
+    pub fn kept_col_indices(&self) -> Vec<usize> {
+        self.cols.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)).collect()
+    }
+
+    /// True when a given element survives (both its row and column survive).
+    pub fn keeps(&self, r: usize, c: usize) -> bool {
+        self.rows[r] && self.cols[c]
+    }
+
+    /// Fraction of the tile's elements removed by the mask.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows.len() * self.cols.len();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - (self.kept_rows() * self.kept_cols()) as f64 / total as f64
+    }
+
+    /// Bytes needed to store the two masks on the GPU.
+    ///
+    /// The paper stores masks as `int32` ("the masking overhead, for which we
+    /// use the int32 format"), i.e. 4 bytes per row plus 4 bytes per column.
+    pub fn storage_bytes_int32(&self) -> usize {
+        4 * (self.rows.len() + self.cols.len())
+    }
+
+    /// Expands the mask pair into a full element-level keep mask in row-major
+    /// order (used to build dense references in tests).
+    pub fn to_element_mask(&self) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.rows.len() * self.cols.len());
+        for &rk in &self.rows {
+            for &ck in &self.cols {
+                out.push(rk && ck);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_all_keeps_everything() {
+        let m = RowColMask::keep_all(3, 4);
+        assert_eq!(m.kept_rows(), 3);
+        assert_eq!(m.kept_cols(), 4);
+        assert_eq!(m.sparsity(), 0.0);
+        assert!(m.keeps(2, 3));
+    }
+
+    #[test]
+    fn pruning_updates_counts_and_sparsity() {
+        let mut m = RowColMask::keep_all(4, 4);
+        m.prune_row(1);
+        m.prune_col(0);
+        m.prune_col(3);
+        assert_eq!(m.kept_rows(), 3);
+        assert_eq!(m.kept_cols(), 2);
+        assert_eq!(m.kept_row_indices(), vec![0, 2, 3]);
+        assert_eq!(m.kept_col_indices(), vec![1, 2]);
+        // 16 - 3*2 = 10 pruned elements.
+        assert!((m.sparsity() - 10.0 / 16.0).abs() < 1e-12);
+        assert!(!m.keeps(1, 1));
+        assert!(!m.keeps(0, 0));
+        assert!(m.keeps(0, 1));
+    }
+
+    #[test]
+    fn element_mask_matches_keeps() {
+        let mut m = RowColMask::keep_all(2, 3);
+        m.prune_col(1);
+        let em = m.to_element_mask();
+        assert_eq!(em, vec![true, false, true, true, false, true]);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(em[r * 3 + c], m.keeps(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn int32_storage_matches_paper_masking_overhead() {
+        let m = RowColMask::keep_all(768, 128);
+        assert_eq!(m.storage_bytes_int32(), 4 * (768 + 128));
+    }
+
+    #[test]
+    fn empty_mask_is_degenerate() {
+        let m = RowColMask::keep_all(0, 0);
+        assert_eq!(m.sparsity(), 0.0);
+        assert!(m.to_element_mask().is_empty());
+    }
+}

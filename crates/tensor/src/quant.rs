@@ -1,0 +1,201 @@
+//! Software fp16 (IEEE 754 binary16) conversion.
+//!
+//! The paper runs tensor-core inference in FP16 while training/CUDA-core
+//! inference stay in FP32.  We reproduce the storage effect in software: a
+//! round trip through [`f32_to_f16_bits`] / [`f16_bits_to_f32`] applies the
+//! same precision loss the tensor-core path would see, which the tests use
+//! to check that TW execution is robust to half-precision weights.
+
+/// Converts an `f32` to IEEE binary16 bits with round-to-nearest-even.
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mantissa = bits & 0x7f_ffff;
+
+    if exp == 0xff {
+        // Inf or NaN.
+        let mant16 = if mantissa != 0 { 0x200 } else { 0 };
+        return sign | 0x7c00 | mant16;
+    }
+
+    // Re-bias from 127 to 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow -> infinity.
+        return sign | 0x7c00;
+    }
+    if unbiased >= -14 {
+        // Normal half-precision number.
+        let half_exp = (unbiased + 15) as u32;
+        let shifted = mantissa >> 13;
+        let round_bit = (mantissa >> 12) & 1;
+        let sticky = mantissa & 0xfff;
+        let mut half = (half_exp << 10) | shifted;
+        if round_bit == 1 && (sticky != 0 || (shifted & 1) == 1) {
+            half += 1; // May carry into the exponent, which is correct.
+        }
+        return sign | half as u16;
+    }
+    if unbiased >= -24 {
+        // Subnormal half-precision number.
+        let full_mant = mantissa | 0x80_0000;
+        let shift = (-14 - unbiased) as u32 + 13;
+        let shifted = full_mant >> shift;
+        let remainder = full_mant & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut half = shifted;
+        if remainder > halfway || (remainder == halfway && (shifted & 1) == 1) {
+            half += 1;
+        }
+        return sign | half as u16;
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+/// Converts IEEE binary16 bits back to an `f32`.
+pub fn f16_bits_to_f32(half: u16) -> f32 {
+    let sign = ((half & 0x8000) as u32) << 16;
+    let exp = ((half >> 10) & 0x1f) as u32;
+    let mant = (half & 0x3ff) as u32;
+
+    let bits = if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: value is mant * 2^-24; normalise to 1.f * 2^(-14-k).
+            let mut m = mant;
+            let mut shifts = 0u32;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                shifts += 1;
+            }
+            m &= 0x3ff;
+            // mant * 2^-24 == 1.f * 2^(-14 - shifts), so the f32 exponent
+            // field is (-14 - shifts) + 127 = 113 - shifts.
+            let exp32 = 113 - shifts;
+            sign | (exp32 << 23) | (m << 13)
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13)
+    } else {
+        let exp32 = exp + 127 - 15;
+        sign | (exp32 << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds a value through fp16 and back, simulating half-precision storage.
+#[inline]
+pub fn quantize_f16(value: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(value))
+}
+
+/// Quantizes every element of a slice through fp16 in place.
+pub fn quantize_slice_f16(values: &mut [f32]) {
+    for v in values {
+        *v = quantize_f16(*v);
+    }
+}
+
+/// Maximum relative error introduced by one fp16 round trip for normal
+/// values (half precision has a 10-bit mantissa).
+pub const F16_MAX_RELATIVE_ERROR: f32 = 1.0 / 1024.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for v in [0.0f32, 1.0, -1.0, 2.0, 0.5, -0.25, 1024.0, 65504.0] {
+            assert_eq!(quantize_f16(v), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn negative_zero_keeps_sign() {
+        let q = quantize_f16(-0.0);
+        assert_eq!(q, 0.0);
+        assert!(q.is_sign_negative());
+    }
+
+    #[test]
+    fn overflow_becomes_infinity() {
+        assert!(quantize_f16(1.0e6).is_infinite());
+        assert!(quantize_f16(-1.0e6).is_infinite());
+        assert!(quantize_f16(-1.0e6) < 0.0);
+    }
+
+    #[test]
+    fn underflow_flushes_to_zero() {
+        assert_eq!(quantize_f16(1.0e-10), 0.0);
+    }
+
+    #[test]
+    fn subnormals_are_representable() {
+        // Smallest positive half subnormal is 2^-24 ~= 5.96e-8.
+        let v = 6.0e-8f32;
+        let q = quantize_f16(v);
+        assert!(q > 0.0);
+        assert!((q - v).abs() / v < 0.5);
+    }
+
+    #[test]
+    fn nan_round_trips_as_nan() {
+        assert!(quantize_f16(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn relative_error_bound_on_normals() {
+        let mut x = 0.001f32;
+        while x < 1000.0 {
+            let q = quantize_f16(x);
+            let rel = (q - x).abs() / x;
+            assert!(rel <= F16_MAX_RELATIVE_ERROR, "x={x} q={q} rel={rel}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn quantize_slice_applies_to_all() {
+        let mut v = vec![0.1f32, 0.2, 0.3];
+        quantize_slice_f16(&mut v);
+        for (q, orig) in v.iter().zip([0.1f32, 0.2, 0.3]) {
+            assert!((q - orig).abs() / orig <= F16_MAX_RELATIVE_ERROR);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Round-tripping twice is idempotent: fp16 values are fixed points.
+        #[test]
+        fn quantization_is_idempotent(v in -1.0e4f32..1.0e4) {
+            let once = quantize_f16(v);
+            let twice = quantize_f16(once);
+            prop_assert_eq!(once.to_bits(), twice.to_bits());
+        }
+
+        /// Quantization never changes the sign of a (non-tiny) value.
+        #[test]
+        fn quantization_preserves_sign(v in 0.001f32..6.0e4) {
+            prop_assert!(quantize_f16(v) > 0.0);
+            prop_assert!(quantize_f16(-v) < 0.0);
+        }
+
+        /// Relative error is within the fp16 mantissa bound for normals.
+        #[test]
+        fn relative_error_bounded(v in 0.001f32..6.0e4) {
+            let q = quantize_f16(v);
+            prop_assert!(((q - v).abs() / v) <= F16_MAX_RELATIVE_ERROR);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Borrowed, strided views over a [`Matrix`].
+//!
+//! Views let the tiled GEMM code and the tile-wise pruning code address a
+//! rectangular region of a larger matrix (an `A_tile` / `B_tile` in the
+//! paper's terminology) without copying it.
+
+use crate::matrix::Matrix;
+
+/// An immutable rectangular view into a [`Matrix`].
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixView<'a> {
+    data: &'a [f32],
+    /// Stride between consecutive rows of the view in the parent buffer.
+    row_stride: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a> MatrixView<'a> {
+    /// A view over the entire matrix.
+    pub fn full(m: &'a Matrix) -> Self {
+        Self { data: m.as_slice(), row_stride: m.cols(), rows: m.rows(), cols: m.cols() }
+    }
+
+    /// A view over rows `[r0, r0+rows)` and columns `[c0, c0+cols)` of `m`.
+    ///
+    /// # Panics
+    /// Panics if the window extends past the matrix bounds.
+    pub fn window(m: &'a Matrix, r0: usize, c0: usize, rows: usize, cols: usize) -> Self {
+        assert!(r0 + rows <= m.rows(), "row window out of bounds");
+        assert!(c0 + cols <= m.cols(), "col window out of bounds");
+        let start = r0 * m.cols() + c0;
+        // The view's last addressable element is at offset
+        // (rows-1)*row_stride + cols-1 relative to `start`.
+        let end = if rows == 0 || cols == 0 { start } else { start + (rows - 1) * m.cols() + cols };
+        Self { data: &m.as_slice()[start..end], row_stride: m.cols(), rows, cols }
+    }
+
+    /// Number of rows in the view.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns in the view.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.row_stride + c]
+    }
+
+    /// Row `r` of the view as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let start = r * self.row_stride;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Copies the view into an owned [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| self.get(r, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_fn(4, 5, |r, c| (r * 5 + c) as f32)
+    }
+
+    #[test]
+    fn full_view_matches_matrix() {
+        let m = sample();
+        let v = MatrixView::full(&m);
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.cols(), 5);
+        for r in 0..4 {
+            for c in 0..5 {
+                assert_eq!(v.get(r, c), m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn window_view_offsets() {
+        let m = sample();
+        let v = MatrixView::window(&m, 1, 2, 2, 3);
+        assert_eq!(v.get(0, 0), m.get(1, 2));
+        assert_eq!(v.get(1, 2), m.get(2, 4));
+        assert_eq!(v.row(0), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn window_to_matrix_round_trip() {
+        let m = sample();
+        let v = MatrixView::window(&m, 0, 1, 3, 2);
+        let owned = v.to_matrix();
+        assert_eq!(owned, m.submatrix(0, 3, 1, 3));
+    }
+
+    #[test]
+    fn empty_window_is_allowed() {
+        let m = sample();
+        let v = MatrixView::window(&m, 2, 2, 0, 0);
+        assert_eq!(v.rows(), 0);
+        assert_eq!(v.cols(), 0);
+        assert_eq!(v.to_matrix().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn window_out_of_bounds_panics() {
+        let m = sample();
+        let _ = MatrixView::window(&m, 3, 0, 2, 2);
+    }
+}

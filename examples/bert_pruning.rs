@@ -1,0 +1,62 @@
+//! Prune a synthetic BERT-base with the full multi-stage tile-wise pipeline
+//! (Algorithm 1 + apriori tuning) and report accuracy and modelled V100
+//! latency at several sparsity levels.
+//!
+//! Run with: `cargo run --release --example bert_pruning`
+
+use tile_wise_repro::models::{ModelKind, SyntheticModel, SyntheticModelConfig, Workload};
+use tile_wise_repro::prelude::*;
+use tilewise::pruner::TileWisePrunerConfig;
+use tilewise::ExecutionConfig;
+
+fn main() {
+    println!("== Multi-stage TW pruning of BERT-base (synthetic weights) ==");
+    let workload = Workload::paper_config(ModelKind::BertBase);
+    let synthetic =
+        SyntheticModel::generate(workload, SyntheticModelConfig::default_with_seed(2020));
+
+    for target in [0.5, 0.75, 0.9] {
+        let mut layers = synthetic.fresh_layers();
+        let pruner = TileWisePruner::new(TileWisePrunerConfig {
+            granularity: 16, // on the 1/8-scaled synthetic weights this is G=128
+            target_sparsity: target,
+            stages: 4,
+            ..TileWisePrunerConfig::paper_default()
+        });
+        let pruned = pruner.prune(&mut layers);
+        println!(
+            "target {:>4.0}% -> achieved {:>5.1}% sparsity, {} weight matrices, {} parameters kept",
+            target * 100.0,
+            pruned.achieved_sparsity * 100.0,
+            pruned.tile_matrices.len(),
+            pruned.kept_parameters(),
+        );
+        for stage in &pruned.stages {
+            println!(
+                "    stage {}: target {:>5.1}%  achieved {:>5.1}%  retained importance {:>5.1}%",
+                stage.stage,
+                stage.target_sparsity * 100.0,
+                stage.achieved_sparsity * 100.0,
+                stage.retained_importance * 100.0
+            );
+        }
+    }
+
+    println!("\n== Accuracy / latency at the paper's reference point (75%) ==");
+    let harness = ModelEvaluation::new(ModelKind::BertBase, 2020);
+    let cfg = ExecutionConfig::optimized(CoreKind::TensorCore);
+    for pattern in [
+        PatternChoice::Dense,
+        PatternChoice::TileWise { granularity: 128 },
+        PatternChoice::TileElementWise { granularity: 128, delta: 0.05 },
+    ] {
+        let r = harness.evaluate(pattern, 0.75, &cfg);
+        println!(
+            "{:<14} metric {:.3}  GEMM speedup {:>5.2}x  end-to-end speedup {:>5.2}x",
+            pattern.label(),
+            r.metric,
+            r.gemm_speedup(),
+            r.end_to_end_speedup()
+        );
+    }
+}

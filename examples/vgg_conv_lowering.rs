@@ -1,0 +1,55 @@
+//! Convolution-as-GEMM: lower a VGG-16 convolution layer with im2col, prune
+//! its weights tile-wise and verify the sparse lowered GEMM still computes
+//! the exact (masked) convolution.
+//!
+//! Run with: `cargo run --release --example vgg_conv_lowering`
+
+use tile_wise_repro::prelude::*;
+use tile_wise_repro::pruning::{tw, SparsityTarget, TileWiseConfig};
+use tile_wise_repro::tensor::{im2col, ConvShape, Matrix};
+
+fn main() {
+    // conv3_1 of VGG-16: 128 -> 256 channels, 56x56 feature map, 3x3 kernel.
+    // (Spatial size reduced here so the example runs in a blink.)
+    let shape = ConvShape::square(128, 256, 14, 3);
+    println!(
+        "conv layer lowered to GEMM: M={} (pixels), K={} (C*R*S), N={} (filters)",
+        shape.gemm_m(),
+        shape.gemm_k(),
+        shape.gemm_n()
+    );
+
+    let input = Matrix::random_uniform(128, 14 * 14, 1.0, 1);
+    let weights = Matrix::random_normal(shape.gemm_k(), shape.gemm_n(), 0.05, 2);
+
+    // Lower the input feature map and prune the weight matrix tile-wise.
+    let lowered = im2col(&input, &shape);
+    let scores = ImportanceScores::magnitude(&weights);
+    let mask = tw::prune(
+        &scores,
+        &TileWiseConfig::with_granularity(64),
+        SparsityTarget::new(0.6),
+    );
+    let tw_weights = TileWiseMatrix::from_mask(&weights, &mask);
+    println!("pruned conv weights to {:.1}% sparsity", tw_weights.sparsity() * 100.0);
+
+    // Sparse lowered convolution == dense lowered convolution on the masked
+    // weights.
+    let sparse_out = tw_weights.matmul(&lowered);
+    let dense_out = gemm(&lowered, &mask.to_pattern_mask().apply(&weights));
+    assert!(sparse_out.approx_eq(&dense_out, 1e-3));
+    println!(
+        "output feature map: {} pixels x {} channels, sparse == dense ✓",
+        sparse_out.rows(),
+        sparse_out.cols()
+    );
+
+    // Storage saving from the compacted tiles.
+    let dense_bytes = weights.len() * 2;
+    let sparse_bytes = tw_weights.storage_bytes(2);
+    println!(
+        "fp16 weight storage: dense {} KiB -> tile-wise {} KiB",
+        dense_bytes / 1024,
+        sparse_bytes / 1024
+    );
+}

@@ -1,0 +1,32 @@
+//! Umbrella crate for the Tile-Wise Sparsity (SC'20) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! ```
+//! use tile_wise_repro::prelude::*;
+//!
+//! let weight = Matrix::random_uniform(64, 64, 1.0, 42);
+//! let scores = ImportanceScores::magnitude(&weight);
+//! assert_eq!(scores.shape(), weight.shape());
+//! ```
+
+pub use tilewise;
+pub use tw_gpu_sim as gpu_sim;
+pub use tw_models as models;
+pub use tw_pruning as pruning;
+pub use tw_sparse as sparse;
+pub use tw_tensor as tensor;
+
+/// Commonly used types from across the workspace.
+pub mod prelude {
+    pub use tilewise::{
+        ExecutionConfig, ModelEvaluation, PatternChoice, SparseModelReport, TewMatrix,
+        TileWiseMatrix, TileWisePruner,
+    };
+    pub use tw_gpu_sim::{CoreKind, GpuDevice, KernelCounters};
+    pub use tw_models::{ModelKind, Workload};
+    pub use tw_pruning::{ImportanceScores, PruningPattern, SparsityTarget};
+    pub use tw_sparse::{CscMatrix, CsrMatrix};
+    pub use tw_tensor::{gemm, Matrix};
+}

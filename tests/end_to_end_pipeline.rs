@@ -1,0 +1,113 @@
+//! Cross-crate integration tests: the complete prune -> execute -> evaluate
+//! pipeline, exercised through the umbrella crate exactly as a downstream
+//! user would.
+
+use tile_wise_repro::models::{ModelKind, SyntheticModel, SyntheticModelConfig, Workload};
+use tile_wise_repro::prelude::*;
+use tile_wise_repro::pruning::ImportanceMethod;
+use tilewise::pruner::TileWisePrunerConfig;
+use tilewise::ExecutionConfig;
+
+#[test]
+fn multi_stage_tw_pipeline_on_bert_is_consistent() {
+    // Scaled-down synthetic BERT so the test stays fast.
+    let mut cfg = SyntheticModelConfig::default_with_seed(1);
+    cfg.dim_divisor = 16;
+    let synthetic = SyntheticModel::generate(Workload::bert_base(8, 128), cfg);
+    let mut layers = synthetic.fresh_layers();
+
+    let pruner = TileWisePruner::new(TileWisePrunerConfig {
+        granularity: 8,
+        target_sparsity: 0.75,
+        stages: 3,
+        ..TileWisePrunerConfig::paper_default()
+    });
+    let pruned = pruner.prune(&mut layers);
+
+    // 72 executable weight matrices at ~75% sparsity.
+    assert_eq!(pruned.tile_matrices.len(), 72);
+    assert!((pruned.achieved_sparsity - 0.75).abs() < 0.05);
+
+    // The executable representation reconstructs exactly the masked weights
+    // the layer set now holds.
+    for (tm, w) in pruned.tile_matrices.iter().zip(layers.weights()) {
+        assert_eq!(&tm.to_dense(), w);
+    }
+
+    // Multi-stage sparsity is non-decreasing and ends at the target.
+    for pair in pruned.stages.windows(2) {
+        assert!(pair[1].achieved_sparsity >= pair[0].achieved_sparsity - 1e-9);
+    }
+    assert!((pruned.stages.last().unwrap().achieved_sparsity - 0.75).abs() < 0.05);
+}
+
+#[test]
+fn tw_functional_execution_matches_dense_reference_on_model_layers() {
+    let mut cfg = SyntheticModelConfig::default_with_seed(2);
+    cfg.dim_divisor = 16;
+    let synthetic = SyntheticModel::generate(Workload::nmt(32, 30), cfg);
+    let mut layers = synthetic.fresh_layers();
+    let originals: Vec<Matrix> = layers.weights().to_vec();
+
+    let pruner = TileWisePruner::new(TileWisePrunerConfig {
+        granularity: 8,
+        target_sparsity: 0.6,
+        stages: 1,
+        fine_tune_recovery: 0.0,
+        ..TileWisePrunerConfig::paper_default()
+    });
+    let pruned = pruner.prune(&mut layers);
+
+    for ((tm, mask), original) in
+        pruned.tile_matrices.iter().zip(&pruned.masks).zip(&originals)
+    {
+        let activations = Matrix::random_uniform(5, original.rows(), 1.0, 99);
+        let sparse = tm.matmul(&activations);
+        let dense = gemm(&activations, &mask.apply(original));
+        assert!(sparse.approx_eq(&dense, 1e-3));
+    }
+}
+
+#[test]
+fn paper_headline_shape_holds_for_bert() {
+    // TW must extend the accuracy-latency Pareto frontier: faster than dense
+    // with a small metric drop, while EW/VW/BW are slower than dense.
+    let harness = ModelEvaluation::with_divisor(ModelKind::BertBase, 3, 16);
+    let tensor = ExecutionConfig::optimized(CoreKind::TensorCore);
+    let cuda = ExecutionConfig::optimized(CoreKind::CudaCore);
+
+    let tw = harness.evaluate(PatternChoice::TileWise { granularity: 128 }, 0.75, &tensor);
+    assert!(tw.gemm_speedup() > 1.5, "TW tensor-core GEMM speedup {}", tw.gemm_speedup());
+    assert!(tw.metric_drop < 0.05, "TW metric drop {}", tw.metric_drop);
+
+    let tw_cuda = harness.evaluate(PatternChoice::TileWise { granularity: 128 }, 0.75, &cuda);
+    assert!(tw_cuda.gemm_speedup() > 1.5, "TW CUDA-core speedup {}", tw_cuda.gemm_speedup());
+
+    for (pattern, cfg) in [
+        (PatternChoice::ElementWise, &cuda),
+        (PatternChoice::VectorWise { vector_size: 16 }, &cuda),
+        (PatternChoice::BlockWise { block_size: 32 }, &tensor),
+    ] {
+        let r = harness.evaluate(pattern, 0.75, cfg);
+        assert!(
+            r.gemm_speedup() < 1.0,
+            "{} should not beat its dense baseline, got {:.2}x",
+            pattern.label(),
+            r.gemm_speedup()
+        );
+    }
+}
+
+#[test]
+fn importance_methods_are_available_through_the_facade() {
+    let mut cfg = SyntheticModelConfig::default_with_seed(5);
+    cfg.dim_divisor = 16;
+    let synthetic = SyntheticModel::generate(Workload::vgg16(8), cfg);
+    let taylor = synthetic.layers().importance(ImportanceMethod::Taylor);
+    let magnitude = synthetic.layers().importance(ImportanceMethod::Magnitude);
+    assert_eq!(taylor.len(), 16);
+    assert_eq!(magnitude.len(), 16);
+    for (t, m) in taylor.iter().zip(&magnitude) {
+        assert_eq!(t.shape(), m.shape());
+    }
+}
