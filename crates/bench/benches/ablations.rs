@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tilewise::{ExecutionConfig, ExecutionPlanner, ModelEvaluation, PatternChoice, TransposeStrategy};
+use tilewise::{
+    ExecutionConfig, ExecutionPlanner, ModelEvaluation, PatternChoice, TransposeStrategy,
+};
 use tw_gpu_sim::CoreKind;
 use tw_models::ModelKind;
 
@@ -15,10 +17,7 @@ fn print_optimization_ablation() {
     let base = ExecutionConfig::optimized(CoreKind::TensorCore);
     let configs = [
         ("optimized (transpose+fusion+batch+streams)", base),
-        (
-            "no transpose",
-            ExecutionConfig { transpose: TransposeStrategy::None, ..base },
-        ),
+        ("no transpose", ExecutionConfig { transpose: TransposeStrategy::None, ..base }),
         ("no fusion", ExecutionConfig { fuse_non_gemm: false, ..base }),
         ("no batching", ExecutionConfig { tw_batching: false, ..base }),
         ("no streams", ExecutionConfig { tw_streams: false, ..base }),
@@ -60,12 +59,9 @@ fn bench_gemm_vs_transpose_split(c: &mut Criterion) {
     let cfg = ExecutionConfig::optimized(CoreKind::TensorCore);
     let run = harness.dense_run(&cfg);
     let mut group = c.benchmark_group("breakdown_helpers");
-    group.bench_function("gemm_time", |b| {
-        b.iter(|| black_box(ExecutionPlanner::gemm_time(&run)))
-    });
-    group.bench_function("other_time", |b| {
-        b.iter(|| black_box(ExecutionPlanner::other_time(&run)))
-    });
+    group.bench_function("gemm_time", |b| b.iter(|| black_box(ExecutionPlanner::gemm_time(&run))));
+    group
+        .bench_function("other_time", |b| b.iter(|| black_box(ExecutionPlanner::other_time(&run))));
     group.finish();
 }
 

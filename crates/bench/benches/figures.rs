@@ -32,9 +32,7 @@ fn bench_planner_only(c: &mut Criterion) {
     let harness = ModelEvaluation::with_divisor(ModelKind::BertBase, 7, 16);
     let mut group = c.benchmark_group("planner");
     group.bench_function("dense_bert_plan", |b| {
-        b.iter(|| {
-            black_box(harness.dense_run(&ExecutionConfig::optimized(CoreKind::TensorCore)))
-        })
+        b.iter(|| black_box(harness.dense_run(&ExecutionConfig::optimized(CoreKind::TensorCore))))
     });
     group.finish();
 }

@@ -47,9 +47,7 @@ fn bench_tilewise_matmul(c: &mut Criterion) {
         );
     }
     // Dense reference for the same shape.
-    group.bench_function("dense_reference", |bench| {
-        bench.iter(|| black_box(gemm(&a, &weights)))
-    });
+    group.bench_function("dense_reference", |bench| bench.iter(|| black_box(gemm(&a, &weights))));
     group.finish();
 }
 

@@ -21,12 +21,8 @@ fn bench_single_shot_patterns(c: &mut Criterion) {
     let target = SparsityTarget::new(0.75);
     let mut group = c.benchmark_group("prune_patterns_bert72");
     group.sample_size(10);
-    group.bench_function("ew_global", |b| {
-        b.iter(|| black_box(ew::prune_global(&scores, target)))
-    });
-    group.bench_function("vw16", |b| {
-        b.iter(|| black_box(vw::prune_all(&scores, 16, target)))
-    });
+    group.bench_function("ew_global", |b| b.iter(|| black_box(ew::prune_global(&scores, target))));
+    group.bench_function("vw16", |b| b.iter(|| black_box(vw::prune_all(&scores, 16, target))));
     group.bench_function("bw32_global", |b| {
         b.iter(|| black_box(bw::prune_global(&scores, 32, target)))
     });

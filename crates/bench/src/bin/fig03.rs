@@ -8,11 +8,6 @@ use tw_bench::{csv_header, csv_row, fmt};
 fn main() {
     csv_header(&["model", "config", "sparsity", "gemm_time_ms"]);
     for row in figures::fig03_baseline_patterns() {
-        csv_row(&[
-            row.model.to_string(),
-            row.config.clone(),
-            fmt(row.sparsity),
-            fmt(row.time_ms),
-        ]);
+        csv_row(&[row.model.to_string(), row.config.clone(), fmt(row.sparsity), fmt(row.time_ms)]);
     }
 }

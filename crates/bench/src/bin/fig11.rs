@@ -5,9 +5,8 @@ use tilewise::figures;
 use tw_bench::{csv_header, csv_row, fmt};
 
 fn main() {
-    let sparsities = [
-        0.0, 0.10, 0.20, 0.25, 0.30, 0.40, 0.50, 0.60, 0.70, 0.75, 0.80, 0.90, 0.95, 0.99,
-    ];
+    let sparsities =
+        [0.0, 0.10, 0.20, 0.25, 0.30, 0.40, 0.50, 0.60, 0.70, 0.75, 0.80, 0.90, 0.95, 0.99];
     csv_header(&["sparsity", "speedup", "load_txn_norm", "store_txn_norm", "flops_efficiency"]);
     for row in figures::fig11_scalability(&sparsities) {
         csv_row(&[

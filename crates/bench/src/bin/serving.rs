@@ -1,0 +1,183 @@
+//! The serving benchmark: drive `tw-serve` with a synthetic closed loop and
+//! report throughput and latency percentiles per worker-pool size.
+//!
+//! Per worker count (default 1, 2, 4) the benchmark builds a pruned
+//! tile-wise model, generates seeded request payloads, pushes them through
+//! the queue → dynamic batcher → worker pool pipeline and prints one CSV
+//! row.  Workers execute the real batched sparse CPU kernels and then dwell
+//! for the batch's simulated V100 time (scaled so one full batch costs
+//! `--dwell-ms` of wall clock), so throughput scales with pool-level
+//! overlap exactly as an accelerator-backed serving tier does — even on a
+//! single-core host.
+//!
+//! ```text
+//! cargo run --release -p tw-bench --bin serving -- \
+//!     --requests 2000 --batch 8 --wait-ms 2 --workers 1,2,4 --dwell-ms 4
+//! ```
+
+use std::sync::Arc;
+use tilewise::{Backend, InferenceSession};
+use tw_bench::{csv_header, csv_row, fmt};
+use tw_models::RequestGenerator;
+use tw_serve::{serve_closed_loop, GpuDwell, ServeConfig};
+
+struct Options {
+    requests: usize,
+    max_batch: usize,
+    wait_ms: f64,
+    workers: Vec<usize>,
+    dims: Vec<usize>,
+    sparsity: f64,
+    granularity: usize,
+    backend: Backend,
+    dwell_ms: f64,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            requests: 2000,
+            max_batch: 8,
+            wait_ms: 2.0,
+            workers: vec![1, 2, 4],
+            dims: vec![192, 192, 96],
+            sparsity: 0.75,
+            granularity: 32,
+            backend: Backend::TileWise,
+            dwell_ms: 4.0,
+            seed: 42,
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        match flag.as_str() {
+            "--requests" => opts.requests = value("--requests").parse().expect("usize"),
+            "--batch" => opts.max_batch = value("--batch").parse().expect("usize"),
+            "--wait-ms" => opts.wait_ms = value("--wait-ms").parse().expect("f64"),
+            "--workers" => {
+                opts.workers = value("--workers")
+                    .split(',')
+                    .map(|w| w.trim().parse().expect("worker count"))
+                    .collect();
+            }
+            "--dims" => {
+                opts.dims =
+                    value("--dims").split(',').map(|d| d.trim().parse().expect("dim")).collect();
+            }
+            "--sparsity" => opts.sparsity = value("--sparsity").parse().expect("f64"),
+            "--granularity" => opts.granularity = value("--granularity").parse().expect("usize"),
+            "--backend" => {
+                opts.backend = match value("--backend").as_str() {
+                    "tw" | "tilewise" => Backend::TileWise,
+                    "csr" => Backend::Csr,
+                    "dense" => Backend::Dense,
+                    other => panic!("unknown backend {other:?} (use tw|csr|dense)"),
+                };
+            }
+            "--dwell-ms" => opts.dwell_ms = value("--dwell-ms").parse().expect("f64"),
+            "--seed" => opts.seed = value("--seed").parse().expect("u64"),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    assert!(opts.requests > 0, "need at least one request");
+    assert!(!opts.workers.is_empty(), "need at least one worker count");
+
+    let session = Arc::new(InferenceSession::synthetic_chain(
+        &opts.dims,
+        opts.sparsity,
+        opts.granularity,
+        opts.seed,
+        opts.backend,
+    ));
+    // Scale simulated V100 time so one full batch dwells `dwell_ms` of wall
+    // clock; 0 disables the dwell entirely (pure CPU benchmark).
+    let gpu_dwell = if opts.dwell_ms > 0.0 {
+        let full_batch_s = session.simulated_batch_seconds(opts.max_batch);
+        Some(GpuDwell { time_scale: opts.dwell_ms * 1e-3 / full_batch_s })
+    } else {
+        None
+    };
+
+    eprintln!(
+        "# serving {} requests | model {:?} @ {:.0}% sparsity ({} backend) | batch<={} wait {}ms | dwell {}ms/batch",
+        opts.requests,
+        opts.dims,
+        session.sparsity() * 100.0,
+        session.backend().name(),
+        opts.max_batch,
+        opts.wait_ms,
+        opts.dwell_ms,
+    );
+    eprintln!(
+        "# modelled batching win: one fused batch of {} is {:.2}x faster on-device than {} singles over 4 streams",
+        opts.max_batch,
+        session.batching_speedup(opts.max_batch, 4),
+        opts.max_batch,
+    );
+
+    csv_header(&[
+        "workers",
+        "requests",
+        "throughput_rps",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "mean_batch",
+        "sim_gpu_s",
+    ]);
+
+    let mut generator = RequestGenerator::new(session.input_dim(), 1.0, opts.seed);
+    let mut throughputs: Vec<(usize, f64)> = Vec::new();
+    for &workers in &opts.workers {
+        let config = ServeConfig {
+            max_batch_size: opts.max_batch,
+            max_batch_wait: std::time::Duration::from_secs_f64(opts.wait_ms * 1e-3),
+            workers,
+            queue_capacity: (opts.max_batch * workers * 4).max(64),
+            gpu_dwell,
+        };
+        let payloads = generator.payloads(opts.requests);
+        let (report, _) = serve_closed_loop(Arc::clone(&session), config, payloads);
+        assert_eq!(report.completed, opts.requests, "lost requests at {workers} workers");
+        csv_row(&[
+            workers.to_string(),
+            report.completed.to_string(),
+            fmt(report.throughput_rps()),
+            fmt(report.latency.p50_s * 1e3),
+            fmt(report.latency.p95_s * 1e3),
+            fmt(report.latency.p99_s * 1e3),
+            fmt(report.mean_batch_size()),
+            fmt(report.sim_gpu_s),
+        ]);
+        throughputs.push((workers, report.throughput_rps()));
+    }
+
+    // Scaling verdict over the sorted worker counts actually measured.
+    let mut sorted = throughputs.clone();
+    sorted.sort_by_key(|&(w, _)| w);
+    let monotonic = sorted.windows(2).all(|pair| pair[1].1 > pair[0].1);
+    let span = sorted.last().map(|&(w, t)| (w, t)).zip(sorted.first().map(|&(w, t)| (w, t)));
+    if let Some(((w_hi, t_hi), (w_lo, t_lo))) = span {
+        eprintln!(
+            "# scaling: {:.1} req/s @ {} worker(s) -> {:.1} req/s @ {} worker(s) ({:.2}x), monotonic: {}",
+            t_lo,
+            w_lo,
+            t_hi,
+            w_hi,
+            t_hi / t_lo,
+            if monotonic { "yes" } else { "NO" },
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for the `rand_distr` crate: [`Normal`] and
+//! [`LogNormal`] over `f32` / `f64`, sampled with Box-Muller.  Only the
+//! constructors and the [`Distribution`] impls the workspace uses are
+//! provided.
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+/// Parameter error returned by the distribution constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Float scalar the distributions are generic over.
+pub trait DistrFloat: Copy {
+    /// Lossy conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl DistrFloat for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl DistrFloat for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+/// One standard-normal sample via Box-Muller (in `f64` precision).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1]: avoid ln(0).
+    let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+    let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// The normal distribution `N(mean, std_dev^2)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: DistrFloat> Normal<F> {
+    /// Creates a normal distribution; fails on a negative or NaN standard
+    /// deviation.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, Error> {
+        let sd = std_dev.to_f64();
+        if sd.is_nan() || sd < 0.0 {
+            return Err(Error);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<F: DistrFloat> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * standard_normal(rng))
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal<F> {
+    norm: Normal<F>,
+}
+
+impl<F: DistrFloat> LogNormal<F> {
+    /// Creates a log-normal distribution with the given underlying normal
+    /// parameters; fails on a negative or NaN sigma.
+    pub fn new(mu: F, sigma: F) -> Result<Self, Error> {
+        Ok(Self { norm: Normal::new(mu, sigma)? })
+    }
+}
+
+impl<F: DistrFloat> Distribution<F> for LogNormal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.norm.sample(rng).to_f64().exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = Normal::new(2.0f64, 3.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "variance {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let dist = LogNormal::new(0.0f64, 0.8).unwrap();
+        assert!((0..1000).all(|_| dist.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn negative_sigma_rejected() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(LogNormal::new(0.0f64, f64::NAN).is_err());
+    }
+}

@@ -9,7 +9,9 @@
 
 use crate::planner::{ExecutionConfig, ExecutionPlanner, WeightExecution};
 use tw_gpu_sim::{RunCounters, TwTileShape};
-use tw_models::{AccuracyModel, ModelKind, SyntheticModel, SyntheticModelConfig, TaskKind, Workload};
+use tw_models::{
+    AccuracyModel, ModelKind, SyntheticModel, SyntheticModelConfig, TaskKind, Workload,
+};
 use tw_pruning::{
     bw, ew, tew, tw, ImportanceMethod, ImportanceScores, PatternMask, PruningPattern,
     SparsityTarget, TileWiseConfig,
@@ -92,7 +94,15 @@ impl ModelEvaluation {
         let scores = synthetic.layers().importance(ImportanceMethod::Taylor);
         let task = TaskKind::primary_for(kind);
         let accuracy = AccuracyModel::calibrate(task, &scores);
-        Self { kind, task, workload, synthetic, scores, accuracy, planner: ExecutionPlanner::v100() }
+        Self {
+            kind,
+            task,
+            workload,
+            synthetic,
+            scores,
+            accuracy,
+            planner: ExecutionPlanner::v100(),
+        }
     }
 
     /// The model kind.
@@ -177,20 +187,15 @@ impl ModelEvaluation {
         let target = SparsityTarget::new(sparsity.clamp(0.0, 0.9999));
         match pattern {
             PruningPattern::Dense => {
-                let masks: Vec<PatternMask> = self
-                    .scores
-                    .iter()
-                    .map(|s| PatternMask::keep_all(s.rows(), s.cols()))
-                    .collect();
+                let masks: Vec<PatternMask> =
+                    self.scores.iter().map(|s| PatternMask::keep_all(s.rows(), s.cols())).collect();
                 let execs = vec![WeightExecution::Dense; self.workload.prunable.len()];
                 (masks, execs)
             }
             PruningPattern::ElementWise => {
                 let masks = ew::prune_global(&self.scores, target);
-                let execs = masks
-                    .iter()
-                    .map(|m| WeightExecution::Csr { sparsity: m.sparsity() })
-                    .collect();
+                let execs =
+                    masks.iter().map(|m| WeightExecution::Csr { sparsity: m.sparsity() }).collect();
                 (masks, execs)
             }
             PruningPattern::VectorWise { vector_size } => {
@@ -199,20 +204,15 @@ impl ModelEvaluation {
                 // become *more* constrained, which is the conservative
                 // direction for the baselines the paper compares against.
                 let masks = tw_pruning::vw::prune_all(&self.scores, vector_size, target);
-                let execs = masks
-                    .iter()
-                    .map(|m| WeightExecution::Csr { sparsity: m.sparsity() })
-                    .collect();
+                let execs =
+                    masks.iter().map(|m| WeightExecution::Csr { sparsity: m.sparsity() }).collect();
                 (masks, execs)
             }
             PruningPattern::BlockWise { block_size } => {
                 let masks = bw::prune_global(&self.scores, block_size, target);
                 let execs = masks
                     .iter()
-                    .map(|m| WeightExecution::Bsr {
-                        block_size,
-                        block_sparsity: m.sparsity(),
-                    })
+                    .map(|m| WeightExecution::Bsr { block_size, block_sparsity: m.sparsity() })
                     .collect();
                 (masks, execs)
             }
@@ -242,14 +242,12 @@ impl ModelEvaluation {
                     delta,
                     None,
                 );
-                let masks: Vec<PatternMask> =
-                    tew_masks.iter().map(|m| m.combined_mask()).collect();
+                let masks: Vec<PatternMask> = tew_masks.iter().map(|m| m.combined_mask()).collect();
                 let execs = tew_masks
                     .iter()
                     .enumerate()
                     .map(|(i, m)| {
-                        let full_elems =
-                            self.workload.prunable[i].k * self.workload.prunable[i].n;
+                        let full_elems = self.workload.prunable[i].k * self.workload.prunable[i].n;
                         let scaled_elems = {
                             let (r, c) = self.synthetic.scaled_shape(i);
                             r * c
@@ -282,8 +280,7 @@ impl ModelEvaluation {
             .iter()
             .filter(|t| t.kept_cols() > 0)
             .map(|t| TwTileShape {
-                kept_rows: ((t.kept_rows() as f64 * row_scale).round() as usize)
-                    .clamp(1, full_k),
+                kept_rows: ((t.kept_rows() as f64 * row_scale).round() as usize).clamp(1, full_k),
                 kept_cols: ((t.kept_cols() as f64 * col_scale).round() as usize).max(1),
             })
             .collect()
@@ -384,9 +381,12 @@ mod tests {
             0.75,
             &ExecutionConfig::optimized(CoreKind::CudaCore),
         );
-        assert!(c.gemm_speedup() > t.gemm_speedup() * 0.9,
+        assert!(
+            c.gemm_speedup() > t.gemm_speedup() * 0.9,
             "CUDA-core speedup {} should be at least comparable to tensor-core speedup {}",
-            c.gemm_speedup(), t.gemm_speedup());
+            c.gemm_speedup(),
+            t.gemm_speedup()
+        );
     }
 
     #[test]

@@ -214,14 +214,12 @@ pub fn fig10_tew_delta() -> Vec<Fig10Row> {
     let dense_cuda_gemm = ExecutionPlanner::gemm_time(&h.dense_run(&cuda));
     let dense_tensor_gemm = ExecutionPlanner::gemm_time(&h.dense_run(&tensor));
 
-    let mut rows = vec![
-        Fig10Row {
-            config: "dense".into(),
-            metric: h.dense_metric(),
-            tensor_latency_norm: dense_tensor_gemm / dense_cuda_gemm,
-            cuda_latency_norm: 1.0,
-        },
-    ];
+    let mut rows = vec![Fig10Row {
+        config: "dense".into(),
+        metric: h.dense_metric(),
+        tensor_latency_norm: dense_tensor_gemm / dense_cuda_gemm,
+        cuda_latency_norm: 1.0,
+    }];
     let mut configs = vec![PruningPattern::TileWise { granularity: 128 }];
     for delta in [0.01, 0.025, 0.05, 0.10, 0.15] {
         configs.push(PruningPattern::TileElementWise { granularity: 128, delta });

@@ -19,17 +19,23 @@
 //!   planner; this is what every figure reproduction drives.
 //! * [`figures`] — one generator per figure of the paper's evaluation
 //!   section, returning plain data that the `tw-bench` binaries print.
+//! * [`session`] — [`InferenceSession`], the executable forward pass the
+//!   `tw-serve` runtime drives: batched CPU inference over the pruned
+//!   weights (tile-wise / CSR / dense backends) plus GPU-simulated batch
+//!   pricing through the planner.
 
 pub mod evaluate;
 pub mod figures;
 pub mod planner;
 pub mod pruner;
+pub mod session;
 pub mod tew_matrix;
 pub mod tile_matrix;
 
 pub use evaluate::{ModelEvaluation, SparseModelReport};
 pub use planner::{ExecutionConfig, ExecutionPlanner, TransposeStrategy};
 pub use pruner::{PrunedModel, TileWisePruner, TileWisePrunerConfig};
+pub use session::{Backend, InferenceSession};
 pub use tew_matrix::TewMatrix;
 pub use tile_matrix::TileWiseMatrix;
 

@@ -181,10 +181,8 @@ impl ExecutionPlanner {
 
         for (gemm, exec) in workload.prunable.iter().zip(weight_exec) {
             let shape = GemmShape::new(gemm.m, gemm.n, gemm.k);
-            let needs_layout = matches!(
-                exec,
-                WeightExecution::TileWise { .. } | WeightExecution::Tew { .. }
-            );
+            let needs_layout =
+                matches!(exec, WeightExecution::TileWise { .. } | WeightExecution::Tew { .. });
             if needs_layout && cfg.transpose == TransposeStrategy::PerGemm {
                 run.push(self.cost.transpose(gemm.m, gemm.k, prec));
             }
@@ -234,11 +232,7 @@ impl ExecutionPlanner {
     /// Total time spent in GEMM-like kernels (dense GEMM, SpMM, BSR, TW) of
     /// a planned run — the "GEMM" bar of Fig. 15.
     pub fn gemm_time(run: &RunCounters) -> f64 {
-        run.kernels()
-            .iter()
-            .filter(|k| is_gemm_kernel(k))
-            .map(|k| k.time_s)
-            .sum()
+        run.kernels().iter().filter(|k| is_gemm_kernel(k)).map(|k| k.time_s).sum()
     }
 
     /// Total time spent in transpose kernels.
@@ -299,10 +293,7 @@ mod tests {
         let fused = planner.plan_dense(&w, &ExecutionConfig::optimized(CoreKind::TensorCore));
         let share_unfused = ExecutionPlanner::other_time(&unfused) / unfused.total_time();
         let share_fused = ExecutionPlanner::other_time(&fused) / fused.total_time();
-        assert!(
-            (0.2..=0.55).contains(&share_unfused),
-            "unfused non-GEMM share {share_unfused}"
-        );
+        assert!((0.2..=0.55).contains(&share_unfused), "unfused non-GEMM share {share_unfused}");
         assert!(share_fused < share_unfused, "fusion must reduce the non-GEMM share");
     }
 
@@ -381,8 +372,7 @@ mod tests {
         assert!(boundary.total_time() < per_gemm.total_time());
         assert!(boundary.total_time() < none.total_time());
         // Boundary adds exactly two transpose kernels.
-        let transposes =
-            boundary.kernels().iter().filter(|k| k.name.contains("transpose")).count();
+        let transposes = boundary.kernels().iter().filter(|k| k.name.contains("transpose")).count();
         assert_eq!(transposes, 2);
     }
 
@@ -400,8 +390,7 @@ mod tests {
             })
             .collect();
         let tew_run = planner.plan_model(&w, &execs, &cfg);
-        let overlays =
-            tew_run.kernels().iter().filter(|k| k.name.contains("overlay")).count();
+        let overlays = tew_run.kernels().iter().filter(|k| k.name.contains("overlay")).count();
         assert_eq!(overlays, 72);
         // The overlay erases most of the tensor-core advantage (Fig. 10b).
         let tw_run = planner.plan_model(&w, &tw_execs(&w, 0.80, 128), &cfg);

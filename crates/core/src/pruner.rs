@@ -86,10 +86,7 @@ impl TileWisePruner {
     /// Creates a pruner with the given configuration.
     pub fn new(config: TileWisePrunerConfig) -> Self {
         assert!(config.granularity > 0, "granularity must be positive");
-        assert!(
-            (0.0..1.0).contains(&config.target_sparsity),
-            "target sparsity must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&config.target_sparsity), "target sparsity must be in [0, 1)");
         assert!(config.delta >= 0.0, "delta must be non-negative");
         Self { config }
     }
@@ -136,12 +133,7 @@ impl TileWisePruner {
             .map(|(w, m)| TileWiseMatrix::from_mask(w, m))
             .collect();
         let tew_matrices = outcome.tew_masks.as_ref().map(|tews| {
-            layers
-                .weights()
-                .iter()
-                .zip(tews)
-                .map(|(w, m)| TewMatrix::from_mask(w, m))
-                .collect()
+            layers.weights().iter().zip(tews).map(|(w, m)| TewMatrix::from_mask(w, m)).collect()
         });
         let achieved = {
             let total: usize = outcome.masks.iter().map(|m| m.keep().len()).sum();

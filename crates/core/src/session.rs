@@ -1,0 +1,397 @@
+//! Inference sessions: the executable forward pass a serving runtime drives.
+//!
+//! A [`InferenceSession`] packages a chain of pruned weight matrices into a
+//! ready-to-serve model: it validates that the layer shapes compose, keeps
+//! every execution form a worker might use (compacted tile-wise, CSR and
+//! masked dense), runs real batched CPU inference, and prices the same
+//! batch on the `tw-gpu-sim` cost model so a serving tier can overlap
+//! simulated device time with CPU execution.
+//!
+//! All backends are functionally equivalent: batching requests as rows of
+//! one activation matrix commutes with the per-layer `matmul + ReLU`
+//! pipeline, so a batched sparse forward pass reproduces per-request dense
+//! results within kernel tolerance — the property `tests/` pins down.
+
+use crate::planner::{ExecutionConfig, ExecutionPlanner, WeightExecution};
+use crate::pruner::PrunedModel;
+use crate::tile_matrix::TileWiseMatrix;
+use tw_gpu_sim::{CoreKind, RunCounters, StreamSim};
+use tw_models::{ModelKind, PrunableGemm, Workload};
+use tw_sparse::{spmm, CsrMatrix};
+use tw_tensor::{gemm, Matrix};
+
+/// Which kernel family executes the pruned weights.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Masked dense GEMM (the unpruned/cuBLAS baseline semantics).
+    Dense,
+    /// The paper's compacted tile-wise kernels.
+    TileWise,
+    /// cuSparse-style CSR SpMM baseline.
+    Csr,
+}
+
+impl Backend {
+    /// Human-readable kernel family name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Dense => "dense",
+            Backend::TileWise => "tile-wise",
+            Backend::Csr => "csr",
+        }
+    }
+}
+
+/// The backend-specific executable form of one layer.  Only the selected
+/// backend's representation is materialized: a session is long-lived and
+/// shared by every serving worker, so holding all three forms would triple
+/// resident model memory for nothing.
+#[derive(Clone, Debug)]
+enum LayerExec {
+    /// Masked dense weights.
+    Dense(Matrix),
+    /// Executed straight from the tile-wise representation.
+    TileWise,
+    /// CSR copy of the masked weights.
+    Csr(CsrMatrix),
+}
+
+/// One layer: the tile-wise source of truth plus its execution form.
+#[derive(Clone, Debug)]
+struct SessionLayer {
+    tile: TileWiseMatrix,
+    exec: LayerExec,
+}
+
+/// An executable pruned model plus the planner that prices its batches.
+#[derive(Clone, Debug)]
+pub struct InferenceSession {
+    layers: Vec<SessionLayer>,
+    backend: Backend,
+    planner: ExecutionPlanner,
+    exec_config: ExecutionConfig,
+}
+
+impl InferenceSession {
+    /// Builds a session from executable tile-wise weights.
+    ///
+    /// # Panics
+    /// Panics if the chain is empty or consecutive layer shapes do not
+    /// compose (`layer[i].n() != layer[i + 1].k()`).
+    pub fn new(tile_matrices: Vec<TileWiseMatrix>, backend: Backend) -> Self {
+        assert!(!tile_matrices.is_empty(), "a session needs at least one layer");
+        for (i, pair) in tile_matrices.windows(2).enumerate() {
+            assert_eq!(
+                pair[0].n(),
+                pair[1].k(),
+                "layer {} output dim must feed layer {} input dim",
+                i,
+                i + 1
+            );
+        }
+        let layers = tile_matrices
+            .into_iter()
+            .map(|tile| {
+                let exec = match backend {
+                    Backend::Dense => LayerExec::Dense(tile.to_dense()),
+                    Backend::TileWise => LayerExec::TileWise,
+                    Backend::Csr => LayerExec::Csr(CsrMatrix::from_dense(&tile.to_dense())),
+                };
+                SessionLayer { tile, exec }
+            })
+            .collect();
+        Self {
+            layers,
+            backend,
+            planner: ExecutionPlanner::v100(),
+            exec_config: ExecutionConfig::optimized(CoreKind::TensorCore),
+        }
+    }
+
+    /// Builds a session from a [`PrunedModel`] produced by the high-level
+    /// pruning pipeline.
+    pub fn from_pruned(pruned: &PrunedModel, backend: Backend) -> Self {
+        Self::new(pruned.tile_matrices.clone(), backend)
+    }
+
+    /// A self-contained session over a freshly pruned chain of random
+    /// square-ish layers — the synthetic model the serving benchmarks and
+    /// examples drive.  `dims` lists the activation dimensions, so `dims =
+    /// [64, 96, 32]` builds two weight matrices (64x96 and 96x32).
+    pub fn synthetic_chain(
+        dims: &[usize],
+        sparsity: f64,
+        granularity: usize,
+        seed: u64,
+        backend: Backend,
+    ) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        use tw_pruning::{tw, ImportanceScores, SparsityTarget, TileWiseConfig};
+        let tiles = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, pair)| {
+                let weights = Matrix::random_normal(pair[0], pair[1], 1.0, seed + i as u64);
+                let scores = ImportanceScores::magnitude(&weights);
+                let mask = tw::prune(
+                    &scores,
+                    &TileWiseConfig::with_granularity(granularity),
+                    SparsityTarget::new(sparsity),
+                );
+                TileWiseMatrix::from_mask(&weights, &mask)
+            })
+            .collect();
+        Self::new(tiles, backend)
+    }
+
+    /// The kernel family this session serves with.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Number of weight layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Expected per-request input length.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].tile.k()
+    }
+
+    /// Per-request output length.
+    pub fn output_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].tile.n()
+    }
+
+    /// Overall element sparsity across the chain.
+    pub fn sparsity(&self) -> f64 {
+        let total: usize = self.layers.iter().map(|l| l.tile.k() * l.tile.n()).sum();
+        let kept: usize = self.layers.iter().map(|l| l.tile.kept_elements()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - kept as f64 / total as f64
+    }
+
+    /// One batched forward pass: each row of `inputs` is a request, each row
+    /// of the result is its output.  Hidden layers apply ReLU; the final
+    /// layer is linear.
+    ///
+    /// # Panics
+    /// Panics if `inputs.cols() != self.input_dim()`.
+    pub fn forward_batch(&self, inputs: &Matrix) -> Matrix {
+        assert_eq!(
+            inputs.cols(),
+            self.input_dim(),
+            "request payload length must match the model input dim"
+        );
+        let last = self.layers.len() - 1;
+        let mut x = inputs.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = match &layer.exec {
+                LayerExec::Dense(dense) => gemm(&x, dense),
+                LayerExec::TileWise => layer.tile.matmul(&x),
+                LayerExec::Csr(csr) => spmm::dense_csr_matmul(&x, csr),
+            };
+            if i != last {
+                relu_in_place(&mut x);
+            }
+        }
+        x
+    }
+
+    /// Convenience single-request forward pass.
+    pub fn forward_one(&self, input: &[f32]) -> Vec<f32> {
+        let x = Matrix::from_rows(&[input]);
+        self.forward_batch(&x).into_vec()
+    }
+
+    /// The GEMM workload one batch of `batch_size` requests induces, in the
+    /// shape the execution planner prices.
+    pub fn workload_for_batch(&self, batch_size: usize) -> Workload {
+        let prunable = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| PrunableGemm {
+                name: format!("serve.layer{i}"),
+                m: batch_size,
+                k: layer.tile.k(),
+                n: layer.tile.n(),
+            })
+            .collect();
+        Workload {
+            kind: ModelKind::Mlp,
+            name: format!("serving chain (batch {batch_size})"),
+            prunable,
+            fixed_gemms: Vec::new(),
+            aux_ops: Vec::new(),
+        }
+    }
+
+    /// Prices one batch on the GPU cost model, with the per-layer execution
+    /// form matching this session's backend.
+    pub fn plan_batch(&self, batch_size: usize) -> RunCounters {
+        let workload = self.workload_for_batch(batch_size);
+        let execs: Vec<WeightExecution> = self
+            .layers
+            .iter()
+            .map(|layer| match self.backend {
+                Backend::Dense => WeightExecution::Dense,
+                Backend::TileWise => WeightExecution::TileWise { tiles: layer.tile.tile_shapes() },
+                Backend::Csr => WeightExecution::Csr { sparsity: layer.tile.sparsity() },
+            })
+            .collect();
+        self.planner.plan_model(&workload, &execs, &self.exec_config)
+    }
+
+    /// Simulated device seconds for one batch of `batch_size` requests — the
+    /// number a serving worker dwells on to model GPU occupancy.
+    pub fn simulated_batch_seconds(&self, batch_size: usize) -> f64 {
+        if batch_size == 0 {
+            return 0.0;
+        }
+        self.plan_batch(batch_size).total_time()
+    }
+
+    /// The modelled win of dynamic batching itself: device time of
+    /// `batch_size` *independent* single-request forward passes overlapped
+    /// across `streams` CUDA streams, divided by the device time of the same
+    /// requests fused into one batched kernel sequence.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero (delegated from the stream scheduler)
+    /// or `streams` is zero.
+    pub fn batching_speedup(&self, batch_size: usize, streams: usize) -> f64 {
+        let single = self.plan_batch(1).total_time();
+        let unbatched = StreamSim::new(streams).schedule_uniform(single, batch_size).makespan();
+        unbatched / self.simulated_batch_seconds(batch_size)
+    }
+}
+
+fn relu_in_place(x: &mut Matrix) {
+    for v in x.as_mut_slice() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_tensor::DEFAULT_TOL;
+
+    fn session(backend: Backend) -> InferenceSession {
+        InferenceSession::synthetic_chain(&[48, 64, 32], 0.6, 16, 42, backend)
+    }
+
+    #[test]
+    fn dims_and_sparsity_are_consistent() {
+        let s = session(Backend::TileWise);
+        assert_eq!(s.num_layers(), 2);
+        assert_eq!(s.input_dim(), 48);
+        assert_eq!(s.output_dim(), 32);
+        assert!((s.sparsity() - 0.6).abs() < 0.05, "sparsity {}", s.sparsity());
+    }
+
+    #[test]
+    fn backends_agree_on_batched_inference() {
+        let dense = session(Backend::Dense);
+        let tile = session(Backend::TileWise);
+        let csr = session(Backend::Csr);
+        let inputs = Matrix::random_uniform(9, 48, 1.0, 7);
+        let reference = dense.forward_batch(&inputs);
+        assert!(tile.forward_batch(&inputs).approx_eq(&reference, DEFAULT_TOL));
+        assert!(csr.forward_batch(&inputs).approx_eq(&reference, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn batched_rows_match_single_requests() {
+        let s = session(Backend::TileWise);
+        let inputs = Matrix::random_uniform(5, 48, 1.0, 9);
+        let batched = s.forward_batch(&inputs);
+        for r in 0..inputs.rows() {
+            let single = s.forward_one(inputs.row(r));
+            let batched_row = batched.row(r);
+            for (a, b) in single.iter().zip(batched_row) {
+                assert!(tw_tensor::approx_eq(*a, *b, DEFAULT_TOL), "row {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_pruned_wires_the_pipeline_output() {
+        use crate::pruner::{TileWisePruner, TileWisePrunerConfig};
+        use tw_pruning::LayerSet;
+        let mut layers = LayerSet::new(
+            vec!["a".into(), "b".into()],
+            vec![Matrix::random_normal(32, 48, 1.0, 1), Matrix::random_normal(48, 16, 1.0, 2)],
+        );
+        let pruner = TileWisePruner::new(TileWisePrunerConfig {
+            granularity: 16,
+            target_sparsity: 0.5,
+            delta: 0.0,
+            stages: 1,
+            importance: tw_pruning::ImportanceMethod::Magnitude,
+            apriori: None,
+            fine_tune_recovery: 0.0,
+        });
+        let pruned = pruner.prune(&mut layers);
+        let session = InferenceSession::from_pruned(&pruned, Backend::TileWise);
+        assert_eq!(session.input_dim(), 32);
+        assert_eq!(session.output_dim(), 16);
+        let out = session.forward_one(&[0.5; 32]);
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn plan_batch_prices_every_layer() {
+        let s = session(Backend::TileWise);
+        let run = s.plan_batch(8);
+        // Boundary transposes + one TW GEMM per layer.
+        assert!(run.kernel_count() >= s.num_layers());
+        assert!(run.total_time() > 0.0);
+    }
+
+    #[test]
+    fn batching_beats_streamed_singles() {
+        // Fusing 16 requests into one batched kernel sequence must beat 16
+        // independent single-request passes, even when the singles overlap
+        // across the V100's streams — kernel-launch overhead and wave
+        // quantization dominate tiny GEMMs.
+        let s = session(Backend::TileWise);
+        let speedup = s.batching_speedup(16, 4);
+        assert!(speedup > 1.0, "batching speedup {speedup}");
+    }
+
+    #[test]
+    fn simulated_time_grows_with_batch_size() {
+        let s = session(Backend::TileWise);
+        let t1 = s.simulated_batch_seconds(1);
+        let t64 = s.simulated_batch_seconds(64);
+        assert!(t64 > t1, "batch 64 ({t64}) should cost more than batch 1 ({t1})");
+        assert_eq!(s.simulated_batch_seconds(0), 0.0);
+        // Batching amortizes: 64 requests in one batch beat 64 singles.
+        assert!(t64 < 64.0 * t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must feed")]
+    fn mismatched_chain_rejected() {
+        let a = InferenceSession::synthetic_chain(&[16, 24], 0.5, 8, 1, Backend::Dense);
+        let b = InferenceSession::synthetic_chain(&[32, 16], 0.5, 8, 2, Backend::Dense);
+        let _ = InferenceSession::new(
+            vec![a.layers[0].tile.clone(), b.layers[0].tile.clone()],
+            Backend::Dense,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "payload length")]
+    fn wrong_input_dim_rejected() {
+        let s = session(Backend::Dense);
+        let _ = s.forward_batch(&Matrix::zeros(2, 5));
+    }
+}

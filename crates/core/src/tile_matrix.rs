@@ -65,11 +65,7 @@ impl TileWiseMatrix {
     /// # Panics
     /// Panics if the mask's dimensions do not match the weight matrix.
     pub fn from_mask(weights: &Matrix, mask: &TileWiseMask) -> Self {
-        assert_eq!(
-            weights.shape(),
-            (mask.k(), mask.n()),
-            "weights shape must match the mask"
-        );
+        assert_eq!(weights.shape(), (mask.k(), mask.n()), "weights shape must match the mask");
         let tiles = mask
             .tiles()
             .iter()
@@ -200,11 +196,8 @@ mod tests {
     fn pruned_pair(seed: u64, sparsity: f64, g: usize) -> (Matrix, TileWiseMask) {
         let weights = Matrix::random_normal(96, 160, 1.0, seed);
         let scores = ImportanceScores::magnitude(&weights);
-        let mask = tw::prune(
-            &scores,
-            &TileWiseConfig::with_granularity(g),
-            SparsityTarget::new(sparsity),
-        );
+        let mask =
+            tw::prune(&scores, &TileWiseConfig::with_granularity(g), SparsityTarget::new(sparsity));
         (weights, mask)
     }
 

@@ -192,7 +192,12 @@ impl CostModel {
 
     /// Prices a BlockSparse-style BSR GEMM on the tensor cores with square
     /// blocks of `block_size` and the given *block-level* sparsity.
-    pub fn bsr_gemm(&self, shape: GemmShape, block_size: usize, block_sparsity: f64) -> KernelProfile {
+    pub fn bsr_gemm(
+        &self,
+        shape: GemmShape,
+        block_size: usize,
+        block_sparsity: f64,
+    ) -> KernelProfile {
         assert!(block_size > 0, "block size must be positive");
         let block_sparsity = block_sparsity.clamp(0.0, 1.0);
         let core = CoreKind::TensorCore;
@@ -247,8 +252,7 @@ impl CostModel {
         let esize = prec.bytes() as u64;
         let (tile_m, tile_n_max) = self.gemm_tile_dims(core);
 
-        let flops: u64 =
-            tiles.iter().map(|t| 2 * (m * t.kept_rows * t.kept_cols) as u64).sum();
+        let flops: u64 = tiles.iter().map(|t| 2 * (m * t.kept_rows * t.kept_cols) as u64).sum();
         let total_kept_cols: usize = tiles.iter().map(|t| t.kept_cols).sum();
         let num_tiles = tiles.len().max(1);
 
@@ -261,13 +265,11 @@ impl CostModel {
         let avg_kept_rows: u64 =
             tiles.iter().map(|t| t.kept_rows as u64).sum::<u64>() / num_tiles as u64;
         let a_bytes: u64 = m as u64 * avg_kept_rows * esize;
-        let b_bytes: u64 =
-            tiles.iter().map(|t| (t.kept_rows * t.kept_cols) as u64 * esize).sum();
+        let b_bytes: u64 = tiles.iter().map(|t| (t.kept_rows * t.kept_cols) as u64 * esize).sum();
         let c_bytes = (m * total_kept_cols) as u64 * esize;
         let mask_bytes = tiles.len() as u64 * 4 * (k + n.div_ceil(num_tiles)) as u64;
 
-        let layout_factor =
-            if opts.transpose_layout { 1.0 } else { self.cal.uncoalesced_factor };
+        let layout_factor = if opts.transpose_layout { 1.0 } else { self.cal.uncoalesced_factor };
         let load_bytes = a_bytes + b_bytes + mask_bytes;
         let store_bytes = c_bytes;
         let load_transactions = (self.device.coalesced_transactions(load_bytes) as f64
@@ -307,16 +309,12 @@ impl CostModel {
             let total_blocks: usize = tiles.iter().map(blocks_for).sum();
             let covered: f64 = tiles
                 .iter()
-                .map(|t| {
-                    (blocks_for(t) * tile_m * tile_n_for(t.kept_cols)) as f64
-                })
+                .map(|t| (blocks_for(t) * tile_m * tile_n_for(t.kept_cols)) as f64)
                 .sum();
             let useful: f64 = tiles.iter().map(|t| (m * t.kept_cols) as f64).sum();
             let tile_quant = if covered > 0.0 { useful / covered } else { 1.0 };
-            let wave = crate::occupancy::wave_quantization_efficiency(
-                total_blocks,
-                self.device.num_sms,
-            );
+            let wave =
+                crate::occupancy::wave_quantization_efficiency(total_blocks, self.device.num_sms);
             let eff = (base_eff * (tile_quant * wave).max(0.05)).max(1e-3);
             let imbalance = imbalance_ratio(&work_per_tile);
             let strength = if opts.streams {
@@ -356,7 +354,11 @@ impl CostModel {
 
         let time = compute.max(memory) + launch;
         KernelProfile {
-            name: if opts.batching { "tw_batched_gemm".to_string() } else { "tw_tile_gemm".to_string() },
+            name: if opts.batching {
+                "tw_batched_gemm".to_string()
+            } else {
+                "tw_tile_gemm".to_string()
+            },
             core,
             counters: KernelCounters {
                 flops,
@@ -440,9 +442,9 @@ impl CostModel {
         let (passes, launches) = if fused { (1u64, 1usize) } else { (num_ops as u64, num_ops) };
         let load_bytes = passes * elements as u64 * esize;
         let store_bytes = passes * elements as u64 * esize;
-        let time = self.mem_time(
-            (passes * bytes_per_pass) as f64 / self.cal.elementwise_bandwidth_efficiency,
-        ) + launches as f64 * self.device.kernel_launch_overhead;
+        let time = self
+            .mem_time((passes * bytes_per_pass) as f64 / self.cal.elementwise_bandwidth_efficiency)
+            + launches as f64 * self.device.kernel_launch_overhead;
         KernelProfile {
             name: if fused { format!("{name}_fused") } else { name.to_string() },
             core: CoreKind::CudaCore,
@@ -628,19 +630,14 @@ mod tests {
         // the GEMM computation cannot benefit from the high sparsity."
         let model = CostModel::v100();
         let tiles = uniform_tiles(768, 768, 128, 0.75);
-        let with = model
-            .tw_gemm(1024, 768, 768, &tiles, TwExecOptions::optimized_tensor())
-            .time_s;
+        let with = model.tw_gemm(1024, 768, 768, &tiles, TwExecOptions::optimized_tensor()).time_s;
         let without = model
             .tw_gemm(
                 1024,
                 768,
                 768,
                 &tiles,
-                TwExecOptions {
-                    transpose_layout: false,
-                    ..TwExecOptions::optimized_tensor()
-                },
+                TwExecOptions { transpose_layout: false, ..TwExecOptions::optimized_tensor() },
             )
             .time_s;
         assert!(without > with * 1.5, "uncoalesced accesses should hurt: {without} vs {with}");
@@ -652,8 +649,9 @@ mod tests {
         let tiles = uniform_tiles(768, 768, 128, 0.75);
         let optimized =
             model.tw_gemm(1024, 768, 768, &tiles, TwExecOptions::optimized_tensor()).time_s;
-        let naive =
-            model.tw_gemm(1024, 768, 768, &tiles, TwExecOptions::naive(CoreKind::TensorCore)).time_s;
+        let naive = model
+            .tw_gemm(1024, 768, 768, &tiles, TwExecOptions::naive(CoreKind::TensorCore))
+            .time_s;
         let streams_only = model
             .tw_gemm(
                 1024,
@@ -728,10 +726,7 @@ mod tests {
         imbalanced[0].kept_rows = 768;
         imbalanced[1].kept_rows = 96;
         imbalanced[2].kept_rows = 96;
-        let opts_nostream = TwExecOptions {
-            streams: false,
-            ..TwExecOptions::optimized_tensor()
-        };
+        let opts_nostream = TwExecOptions { streams: false, ..TwExecOptions::optimized_tensor() };
         let t_bal = model.tw_gemm(1024, 768, 768, &balanced, opts_nostream).time_s;
         let t_imb = model.tw_gemm(1024, 768, 768, &imbalanced, opts_nostream).time_s;
         let t_imb_streams =
@@ -743,7 +738,8 @@ mod tests {
     #[test]
     fn elementwise_fusion_saves_time_and_launches() {
         let model = CostModel::v100();
-        let unfused = model.elementwise_chain("bias_layernorm", 3, 1024 * 768, Precision::Fp16, false);
+        let unfused =
+            model.elementwise_chain("bias_layernorm", 3, 1024 * 768, Precision::Fp16, false);
         let fused = model.elementwise_chain("bias_layernorm", 3, 1024 * 768, Precision::Fp16, true);
         assert!(fused.time_s < unfused.time_s * 0.6);
         assert!(fused.name.contains("fused"));

@@ -108,19 +108,13 @@ impl RunCounters {
 
     /// Sum of all counters.
     pub fn totals(&self) -> KernelCounters {
-        self.kernels
-            .iter()
-            .fold(KernelCounters::default(), |acc, k| acc.add(&k.counters))
+        self.kernels.iter().fold(KernelCounters::default(), |acc, k| acc.add(&k.counters))
     }
 
     /// Total time spent in kernels whose name contains `substr` — used for
     /// the Fig. 15 GEMM / transpose / others breakdown.
     pub fn time_matching(&self, substr: &str) -> f64 {
-        self.kernels
-            .iter()
-            .filter(|k| k.name.contains(substr))
-            .map(|k| k.time_s)
-            .sum()
+        self.kernels.iter().filter(|k| k.name.contains(substr)).map(|k| k.time_s).sum()
     }
 
     /// Overall FLOPS efficiency: all FLOPs divided by total time and by the
@@ -157,8 +151,20 @@ mod tests {
 
     #[test]
     fn counters_add() {
-        let a = KernelCounters { flops: 1, load_bytes: 2, store_bytes: 3, load_transactions: 4, store_transactions: 5 };
-        let b = KernelCounters { flops: 10, load_bytes: 20, store_bytes: 30, load_transactions: 40, store_transactions: 50 };
+        let a = KernelCounters {
+            flops: 1,
+            load_bytes: 2,
+            store_bytes: 3,
+            load_transactions: 4,
+            store_transactions: 5,
+        };
+        let b = KernelCounters {
+            flops: 10,
+            load_bytes: 20,
+            store_bytes: 30,
+            load_transactions: 40,
+            store_transactions: 50,
+        };
         let c = a.add(&b);
         assert_eq!(c.flops, 11);
         assert_eq!(c.store_transactions, 55);

@@ -207,16 +207,14 @@ mod tests {
         let scores = bert_scores();
         let model = AccuracyModel::calibrate(TaskKind::Mnli, &scores);
         let target = SparsityTarget::new(0.75);
-        let ew_metric =
-            model.metric_for_masks(&scores, &ew::prune_global(&scores, target));
+        let ew_metric = model.metric_for_masks(&scores, &ew::prune_global(&scores, target));
         let tw_masks: Vec<PatternMask> =
             tw::prune_global(&scores, &TileWiseConfig::with_granularity(16), target, None)
                 .iter()
                 .map(|m| m.to_pattern_mask())
                 .collect();
         let tw_metric = model.metric_for_masks(&scores, &tw_masks);
-        let bw_metric =
-            model.metric_for_masks(&scores, &bw::prune_global(&scores, 32, target));
+        let bw_metric = model.metric_for_masks(&scores, &bw::prune_global(&scores, 32, target));
         assert!(ew_metric >= tw_metric, "EW {ew_metric} >= TW {tw_metric}");
         assert!(tw_metric >= bw_metric, "TW {tw_metric} >= BW {bw_metric}");
         // And the drops are in a plausible range at 75% sparsity (a few

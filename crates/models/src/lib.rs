@@ -18,13 +18,17 @@
 //!   that is pruned with every pattern and fine-tuned for real, confirming
 //!   end-to-end that the accuracy ordering EW > TW > VW ≈ BW emerges from
 //!   actual training rather than from the proxy's construction.
+//! * [`requests`] — seeded synthetic inference-request payloads and Poisson
+//!   arrival gaps for the `tw-serve` serving runtime and its benchmarks.
 
 pub mod accuracy;
 pub mod mlp;
+pub mod requests;
 pub mod synthetic;
 pub mod workload;
 
 pub use accuracy::{AccuracyModel, TaskKind};
 pub use mlp::{MlpClassifier, MlpTrainConfig, SyntheticClassification};
+pub use requests::RequestGenerator;
 pub use synthetic::{SyntheticModel, SyntheticModelConfig};
 pub use workload::{AuxOp, FixedGemm, ModelKind, PrunableGemm, Workload};

@@ -44,8 +44,8 @@ impl SyntheticClassification {
         for i in 0..n {
             let class = rng.gen_range(0..num_classes);
             labels.push(class);
-            for d in 0..dim {
-                inputs.set(i, d, centres[class][d] + noise.sample(&mut rng));
+            for (d, &centre) in centres[class].iter().enumerate() {
+                inputs.set(i, d, centre + noise.sample(&mut rng));
             }
         }
         Self { inputs, labels, num_classes }
@@ -348,7 +348,7 @@ mod tests {
         assert_eq!(a.len(), 200);
         // Every class appears.
         for class in 0..3 {
-            assert!(a.labels.iter().any(|&l| l == class));
+            assert!(a.labels.contains(&class));
         }
     }
 

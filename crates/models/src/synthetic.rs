@@ -78,8 +78,7 @@ impl SyntheticModel {
     /// Generates the synthetic model for a workload.
     pub fn generate(workload: Workload, config: SyntheticModelConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let layer_scale_dist =
-            LogNormal::new(0.0, config.layer_spread).expect("valid log-normal");
+        let layer_scale_dist = LogNormal::new(0.0, config.layer_spread).expect("valid log-normal");
         let cluster_dist =
             LogNormal::new(0.0, config.column_cluster_spread).expect("valid log-normal");
 
@@ -233,12 +232,8 @@ mod tests {
         assert_eq!(rows, 96); // 768 / 8
         assert_eq!(cols, 96);
         assert!((m.row_scale(0) - 8.0).abs() < 1e-12);
-        let ffn_up_idx = m
-            .workload()
-            .prunable
-            .iter()
-            .position(|g| g.name == "layer0.ffn_up")
-            .unwrap();
+        let ffn_up_idx =
+            m.workload().prunable.iter().position(|g| g.name == "layer0.ffn_up").unwrap();
         assert_eq!(m.scaled_shape(ffn_up_idx), (96, 384));
     }
 

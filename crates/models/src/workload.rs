@@ -148,12 +148,7 @@ impl Workload {
                     n: hidden,
                 });
             }
-            prunable.push(PrunableGemm {
-                name: format!("layer{l}.ffn_up"),
-                m,
-                k: hidden,
-                n: ffn,
-            });
+            prunable.push(PrunableGemm { name: format!("layer{l}.ffn_up"), m, k: hidden, n: ffn });
             prunable.push(PrunableGemm {
                 name: format!("layer{l}.ffn_down"),
                 m,
@@ -188,11 +183,7 @@ impl Workload {
                 elements: m * hidden,
                 chain_len: 3,
             });
-            aux.push(AuxOp {
-                name: format!("layer{l}.ffn_gelu"),
-                elements: m * ffn,
-                chain_len: 2,
-            });
+            aux.push(AuxOp { name: format!("layer{l}.ffn_gelu"), elements: m * ffn, chain_len: 2 });
             aux.push(AuxOp {
                 name: format!("layer{l}.ffn_bias_ln"),
                 elements: m * hidden,

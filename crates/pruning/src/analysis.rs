@@ -173,9 +173,9 @@ mod tests {
         for shape in [UnitShape::Block { size: 8 }, UnitShape::RowVector { g: 64 }] {
             let cdf = zero_ratio_cdf(&mask, shape, 21);
             assert_eq!(cdf.len(), 21);
-            assert!(cdf.windows(2).all(|w| {
-                w[1].cumulative_probability >= w[0].cumulative_probability - 1e-12
-            }));
+            assert!(cdf
+                .windows(2)
+                .all(|w| { w[1].cumulative_probability >= w[0].cumulative_probability - 1e-12 }));
             assert!((cdf.last().unwrap().cumulative_probability - 1.0).abs() < 1e-12);
             assert!(cdf[0].cumulative_probability >= 0.0);
         }
@@ -221,8 +221,7 @@ mod tests {
             }
         }
         // Average cell sparsity equals overall sparsity (cells tile exactly).
-        let mean: f64 =
-            heat.iter().flatten().sum::<f64>() / (heat.len() * heat[0].len()) as f64;
+        let mean: f64 = heat.iter().flatten().sum::<f64>() / (heat.len() * heat[0].len()) as f64;
         assert!((mean - mask.sparsity()).abs() < 1e-9);
     }
 

@@ -73,10 +73,7 @@ mod tests {
 
     #[test]
     fn prunes_smallest_scores_first() {
-        let scores = ImportanceScores::from_matrix(Matrix::from_rows(&[
-            &[0.1, 0.9],
-            &[0.5, 0.01],
-        ]));
+        let scores = ImportanceScores::from_matrix(Matrix::from_rows(&[&[0.1, 0.9], &[0.5, 0.01]]));
         let mask = prune(&scores, SparsityTarget::new(0.5));
         assert!(!mask.keeps(1, 1)); // 0.01 pruned
         assert!(!mask.keeps(0, 0)); // 0.1 pruned

@@ -36,7 +36,8 @@ pub struct ImportanceScores {
 impl ImportanceScores {
     /// Magnitude scores: `|w|`.
     pub fn magnitude(weights: &Matrix) -> Self {
-        let scores = Matrix::from_fn(weights.rows(), weights.cols(), |r, c| weights.get(r, c).abs());
+        let scores =
+            Matrix::from_fn(weights.rows(), weights.cols(), |r, c| weights.get(r, c).abs());
         Self { scores }
     }
 
@@ -136,13 +137,7 @@ impl ImportanceScores {
     /// measure how much importance a pruning pattern retains.
     pub fn retained(&self, keep: &[bool]) -> f64 {
         assert_eq!(keep.len(), self.scores.len(), "mask length mismatch");
-        self.scores
-            .as_slice()
-            .iter()
-            .zip(keep)
-            .filter(|(_, &k)| k)
-            .map(|(&v, _)| v as f64)
-            .sum()
+        self.scores.as_slice().iter().zip(keep).filter(|(_, &k)| k).map(|(&v, _)| v as f64).sum()
     }
 
     /// Fraction of total importance retained by a keep mask, in `[0, 1]`.
@@ -182,10 +177,7 @@ pub fn percentile_threshold(values: &[f64], fraction: f64) -> f64 {
 pub fn smallest_k_indices(values: &[f64], count: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
     idx.sort_by(|&a, &b| {
-        values[a]
-            .partial_cmp(&values[b])
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
+        values[a].partial_cmp(&values[b]).expect("scores must not be NaN").then(a.cmp(&b))
     });
     idx.truncate(count.min(values.len()));
     idx
@@ -196,10 +188,7 @@ pub fn smallest_k_indices(values: &[f64], count: usize) -> Vec<usize> {
 pub fn largest_k_indices(values: &[f64], count: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
     idx.sort_by(|&a, &b| {
-        values[b]
-            .partial_cmp(&values[a])
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
+        values[b].partial_cmp(&values[a]).expect("scores must not be NaN").then(a.cmp(&b))
     });
     idx.truncate(count.min(values.len()));
     idx
@@ -248,10 +237,8 @@ mod tests {
 
     #[test]
     fn aggregations() {
-        let s = ImportanceScores::from_matrix(Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-        ]));
+        let s =
+            ImportanceScores::from_matrix(Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]));
         assert_eq!(s.total(), 21.0);
         assert_eq!(s.col_sum(1), 7.0);
         assert_eq!(s.row_sum_over_cols(1, &[0, 2]), 10.0);

@@ -265,8 +265,7 @@ mod tests {
 
     #[test]
     fn retained_importance_matches_scores() {
-        let scores =
-            ImportanceScores::from_matrix(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let scores = ImportanceScores::from_matrix(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
         let mut m = PatternMask::keep_all(2, 2);
         m.prune(1, 1);
         assert!((m.retained_importance(&scores) - 0.6).abs() < 1e-12);

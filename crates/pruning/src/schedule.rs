@@ -245,11 +245,7 @@ impl MultiStagePruner {
             };
             let retained = {
                 let total: f64 = scores.iter().map(|s| s.total()).sum();
-                let kept: f64 = scores
-                    .iter()
-                    .zip(&masks)
-                    .map(|(s, m)| s.retained(m.keep()))
-                    .sum();
+                let kept: f64 = scores.iter().zip(&masks).map(|(s, m)| s.retained(m.keep())).sum();
                 if total == 0.0 {
                     1.0
                 } else {
@@ -297,24 +293,17 @@ impl MultiStagePruner {
             }
             PruningPattern::TileWise { granularity } => {
                 let cfg = TileWiseConfig::with_granularity(granularity);
-                let hints = self
-                    .config
-                    .apriori
-                    .as_ref()
-                    .map(|a| apriori::derive_hints(scores, target, a));
+                let hints =
+                    self.config.apriori.as_ref().map(|a| apriori::derive_hints(scores, target, a));
                 let tw_masks = tw::prune_global(scores, &cfg, target, hints.as_deref());
                 let masks = tw_masks.iter().map(|m| m.to_pattern_mask()).collect();
                 (masks, Some(tw_masks), None)
             }
             PruningPattern::TileElementWise { granularity, delta } => {
                 let cfg = TileWiseConfig::with_granularity(granularity);
-                let hints = self
-                    .config
-                    .apriori
-                    .as_ref()
-                    .map(|a| apriori::derive_hints(scores, target, a));
-                let tew_masks =
-                    tew::prune_global(scores, &cfg, target, delta, hints.as_deref());
+                let hints =
+                    self.config.apriori.as_ref().map(|a| apriori::derive_hints(scores, target, a));
+                let tew_masks = tew::prune_global(scores, &cfg, target, delta, hints.as_deref());
                 let masks = tew_masks.iter().map(|m| m.combined_mask()).collect();
                 let tw_masks = tew_masks.iter().map(|m| m.tw().clone()).collect();
                 (masks, Some(tw_masks), Some(tew_masks))

@@ -114,11 +114,7 @@ pub fn prune_global(
         overlays[mi].restore(r, c);
     }
 
-    tw_masks
-        .into_iter()
-        .zip(overlays)
-        .map(|(tw, overlay)| TewMask { tw, overlay, delta })
-        .collect()
+    tw_masks.into_iter().zip(overlays).map(|(tw, overlay)| TewMask { tw, overlay, delta }).collect()
 }
 
 #[cfg(test)]

@@ -336,12 +336,10 @@ mod tests {
     fn achieves_target_sparsity() {
         let s = scores(128, 256, 1);
         for target in [0.25, 0.5, 0.75, 0.9] {
-            let mask = prune(&s, &TileWiseConfig::with_granularity(64), SparsityTarget::new(target));
+            let mask =
+                prune(&s, &TileWiseConfig::with_granularity(64), SparsityTarget::new(target));
             let achieved = mask.sparsity();
-            assert!(
-                (achieved - target).abs() < 0.02,
-                "target {target} achieved {achieved}"
-            );
+            assert!((achieved - target).abs() < 0.02, "target {target} achieved {achieved}");
             // The flat mask agrees with the structured accounting.
             assert!((mask.to_pattern_mask().sparsity() - achieved).abs() < 1e-9);
         }
@@ -351,7 +349,7 @@ mod tests {
     fn tiles_cover_surviving_columns_exactly_once() {
         let s = scores(64, 200, 2);
         let mask = prune(&s, &TileWiseConfig::with_granularity(32), SparsityTarget::new(0.6));
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for tile in mask.tiles() {
             assert!(tile.col_indices.len() <= 32);
             for &c in &tile.col_indices {
@@ -373,7 +371,12 @@ mod tests {
         let mask = prune(&s, &TileWiseConfig::with_granularity(64), SparsityTarget::new(0.5));
         let kept = mask.tile_kept_rows();
         assert_eq!(kept.len(), 2);
-        assert!(kept[0] > kept[1], "strong tile {} should keep more rows than weak tile {}", kept[0], kept[1]);
+        assert!(
+            kept[0] > kept[1],
+            "strong tile {} should keep more rows than weak tile {}",
+            kept[0],
+            kept[1]
+        );
     }
 
     #[test]
@@ -388,8 +391,7 @@ mod tests {
         // Every row of the mask is either fully kept (over kept columns) or
         // fully pruned.
         for r in 0..32 {
-            let kept_in_row: Vec<usize> =
-                (0..64).filter(|&c| pm.keeps(r, c)).collect();
+            let kept_in_row: Vec<usize> = (0..64).filter(|&c| pm.keeps(r, c)).collect();
             assert!(
                 kept_in_row.is_empty() || kept_in_row.len() == mask.kept_cols(),
                 "row {r} is partially pruned across the single tile"

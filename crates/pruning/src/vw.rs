@@ -97,13 +97,18 @@ mod tests {
     fn vw_cannot_adapt_to_uneven_columns() {
         // One very important column and one unimportant column: VW still
         // prunes them equally (this is the limitation TW fixes).
-        let scores = ImportanceScores::from_matrix(Matrix::from_fn(16, 2, |_, c| {
-            if c == 0 {
-                10.0
-            } else {
-                0.1
-            }
-        }));
+        let scores =
+            ImportanceScores::from_matrix(Matrix::from_fn(
+                16,
+                2,
+                |_, c| {
+                    if c == 0 {
+                        10.0
+                    } else {
+                        0.1
+                    }
+                },
+            ));
         let mask = prune(&scores, 16, SparsityTarget::new(0.5));
         let col0_pruned = (0..16).filter(|&r| !mask.keeps(r, 0)).count();
         let col1_pruned = (0..16).filter(|&r| !mask.keeps(r, 1)).count();

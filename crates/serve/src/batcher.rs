@@ -1,0 +1,184 @@
+//! The dynamic batcher: size- and deadline-bounded request grouping.
+//!
+//! Batching amortizes per-kernel overhead (and, on the modelled GPU, fills
+//! streams), but waiting for a full batch adds latency.  The standard
+//! compromise — used by every production inference server — is a *dynamic*
+//! batch: close the batch at `max_batch_size` requests, or `max_batch_wait`
+//! after the first request arrived, whichever comes first.  The wait clock
+//! starts at the batch head, so an idle server adds zero batching latency to
+//! a lone request beyond the configured budget.
+
+use crate::queue::{BoundedQueue, Pop};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Groups queued items into dynamic batches.  One batcher is shared by all
+/// workers; each [`DynamicBatcher::next_batch`] call assembles one batch.
+pub struct DynamicBatcher<T> {
+    queue: Arc<BoundedQueue<T>>,
+    max_batch_size: usize,
+    max_batch_wait: Duration,
+}
+
+impl<T> DynamicBatcher<T> {
+    /// A batcher draining `queue` with the given bounds.
+    ///
+    /// # Panics
+    /// Panics if `max_batch_size` is zero.
+    pub fn new(
+        queue: Arc<BoundedQueue<T>>,
+        max_batch_size: usize,
+        max_batch_wait: Duration,
+    ) -> Self {
+        assert!(max_batch_size > 0, "max batch size must be positive");
+        Self { queue, max_batch_size, max_batch_wait }
+    }
+
+    /// The queue this batcher drains.
+    pub fn queue(&self) -> &Arc<BoundedQueue<T>> {
+        &self.queue
+    }
+
+    /// Assembles the next batch: blocks for a batch head, then fills until
+    /// the size cap or the wait deadline.  Returns `None` once the queue is
+    /// closed and drained — the worker's signal to exit.
+    pub fn next_batch(&self) -> Option<Vec<T>> {
+        // Phase 1: wait (indefinitely, in slices) for the batch head.
+        let head = loop {
+            match self.queue.pop_timeout(Duration::from_millis(50)) {
+                Pop::Item(item) => break item,
+                Pop::TimedOut => continue,
+                Pop::Closed => return None,
+            }
+        };
+
+        // Phase 2: fill until size cap or deadline.
+        let deadline = Instant::now() + self.max_batch_wait;
+        let mut batch = Vec::with_capacity(self.max_batch_size);
+        batch.push(head);
+        while batch.len() < self.max_batch_size {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.queue.pop_timeout(deadline - now) {
+                Pop::Item(item) => batch.push(item),
+                // Closed with a partial batch in hand: flush what we have;
+                // the next call will observe Closed and return None.
+                Pop::TimedOut | Pop::Closed => break,
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batcher(capacity: usize, max_batch: usize, wait_ms: u64) -> DynamicBatcher<u64> {
+        DynamicBatcher::new(
+            Arc::new(BoundedQueue::new(capacity)),
+            max_batch,
+            Duration::from_millis(wait_ms),
+        )
+    }
+
+    #[test]
+    fn full_batch_closes_at_size_cap_without_waiting() {
+        let b = batcher(64, 4, 10_000);
+        for i in 0..11 {
+            b.queue().push(i).unwrap();
+        }
+        // A queue holding >= max_batch items must yield a full batch
+        // immediately even with a huge wait budget.
+        let start = Instant::now();
+        assert_eq!(b.next_batch(), Some(vec![0, 1, 2, 3]));
+        assert!(start.elapsed() < Duration::from_secs(1), "must not wait out the budget");
+        assert_eq!(b.next_batch(), Some(vec![4, 5, 6, 7]));
+        // The remainder is flushed as a partial batch after the deadline...
+        b.queue().close();
+        assert_eq!(b.next_batch(), Some(vec![8, 9, 10]));
+        assert_eq!(b.next_batch(), None);
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let b = batcher(64, 8, 30);
+        b.queue().push(1).unwrap();
+        b.queue().push(2).unwrap();
+        let start = Instant::now();
+        let batch = b.next_batch().unwrap();
+        let waited = start.elapsed();
+        assert_eq!(batch, vec![1, 2]);
+        // The batcher must have honoured (roughly) the wait budget before
+        // flushing a partial batch.
+        assert!(waited >= Duration::from_millis(25), "flushed after {waited:?}");
+        assert!(waited < Duration::from_millis(500), "overslept: {waited:?}");
+    }
+
+    #[test]
+    fn late_arrivals_within_budget_join_the_batch() {
+        let b = Arc::new(batcher(64, 3, 500));
+        b.queue().push(1).unwrap();
+        let feeder = {
+            let q = Arc::clone(b.queue());
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                q.push(2).unwrap();
+                q.push(3).unwrap();
+            })
+        };
+        let start = Instant::now();
+        let batch = b.next_batch().unwrap();
+        feeder.join().unwrap();
+        assert_eq!(batch, vec![1, 2, 3]);
+        // Filled by arrival, not by deadline.
+        assert!(start.elapsed() < Duration::from_millis(400));
+    }
+
+    #[test]
+    fn close_flushes_partial_batch_then_ends() {
+        let b = Arc::new(batcher(64, 8, 10_000));
+        b.queue().push(5).unwrap();
+        let closer = {
+            let q = Arc::clone(b.queue());
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                q.close();
+            })
+        };
+        // Close must cut the fill phase short well before the 10s budget.
+        let start = Instant::now();
+        assert_eq!(b.next_batch(), Some(vec![5]));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        closer.join().unwrap();
+        assert_eq!(b.next_batch(), None);
+    }
+
+    #[test]
+    fn batch_size_one_never_waits() {
+        let b = batcher(8, 1, 10_000);
+        b.queue().push(9).unwrap();
+        let start = Instant::now();
+        assert_eq!(b.next_batch(), Some(vec![9]));
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn zero_wait_degenerates_to_head_only_batches() {
+        let b = batcher(8, 4, 0);
+        b.queue().push(1).unwrap();
+        b.queue().push(2).unwrap();
+        // With a zero wait budget the deadline has already passed once the
+        // head is in hand, so every batch is a singleton.
+        assert_eq!(b.next_batch(), Some(vec![1]));
+        assert_eq!(b.next_batch(), Some(vec![2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        let _ = batcher(8, 0, 1);
+    }
+}

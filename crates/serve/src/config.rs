@@ -1,0 +1,126 @@
+//! Serving runtime configuration.
+
+use std::time::Duration;
+
+/// How the worker pool accounts for simulated GPU time.
+///
+/// The workspace models the V100 analytically (`tw-gpu-sim`); a serving
+/// worker therefore executes the batch's functional math on the CPU and then
+/// *dwells* for the batch's priced device time, exactly as a real inference
+/// worker blocks on an accelerator. The dwell is what dynamic batching and
+/// worker pools exist to overlap, so it is on by default in benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpuDwell {
+    /// Wall-clock seconds per simulated device second.  `1.0` replays the
+    /// modelled V100 in real time; larger values stretch device time so the
+    /// serving dynamics (queueing, batching, pool overlap) dominate the
+    /// benchmark instead of CPU kernel time.
+    pub time_scale: f64,
+}
+
+impl GpuDwell {
+    /// Real-time replay of the modelled device.
+    pub fn realtime() -> Self {
+        Self { time_scale: 1.0 }
+    }
+}
+
+/// Configuration of a [`crate::Server`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Largest number of requests fused into one batch.
+    pub max_batch_size: usize,
+    /// Longest a batch head waits for followers before the batch is flushed.
+    pub max_batch_wait: Duration,
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Bound on queued requests; submitters block when the queue is full
+    /// (backpressure).
+    pub queue_capacity: usize,
+    /// Simulated device dwell per batch; `None` serves CPU-only.
+    pub gpu_dwell: Option<GpuDwell>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_size: 8,
+            max_batch_wait: Duration::from_millis(2),
+            workers: 2,
+            queue_capacity: 1024,
+            gpu_dwell: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Panics on nonsensical settings; called by [`crate::Server::start`].
+    pub fn validate(&self) {
+        assert!(self.max_batch_size > 0, "max batch size must be positive");
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(
+            self.queue_capacity >= self.max_batch_size,
+            "queue capacity must hold at least one full batch"
+        );
+        if let Some(dwell) = &self.gpu_dwell {
+            assert!(
+                dwell.time_scale.is_finite() && dwell.time_scale >= 0.0,
+                "GPU dwell time scale must be finite and non-negative"
+            );
+        }
+    }
+
+    /// Builder-style override of the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Builder-style override of the batch bounds.
+    pub fn with_batching(mut self, max_batch_size: usize, max_batch_wait: Duration) -> Self {
+        self.max_batch_size = max_batch_size;
+        self.max_batch_wait = max_batch_wait;
+        self
+    }
+
+    /// Builder-style override of the simulated device dwell.
+    pub fn with_gpu_dwell(mut self, dwell: GpuDwell) -> Self {
+        self.gpu_dwell = Some(dwell);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ServeConfig::default().validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = ServeConfig::default()
+            .with_workers(4)
+            .with_batching(16, Duration::from_millis(5))
+            .with_gpu_dwell(GpuDwell::realtime());
+        cfg.validate();
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.max_batch_size, 16);
+        assert_eq!(cfg.gpu_dwell, Some(GpuDwell { time_scale: 1.0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        ServeConfig::default().with_workers(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity")]
+    fn queue_smaller_than_batch_rejected() {
+        let cfg = ServeConfig { queue_capacity: 4, max_batch_size: 8, ..ServeConfig::default() };
+        cfg.validate();
+    }
+}

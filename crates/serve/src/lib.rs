@@ -1,0 +1,286 @@
+//! `tw-serve` — a batched sparse-inference serving runtime.
+//!
+//! The rest of the workspace reproduces the paper's *offline* story: prune a
+//! model tile-wise, compact the weights, plan the kernels, price them on the
+//! GPU cost model.  This crate adds the *online* layer a production system
+//! needs — accepting a stream of inference requests and turning it into
+//! batched sparse kernel executions with bounded latency:
+//!
+//! ```text
+//!  submit()                 +------------------+
+//!  ---------> BoundedQueue  |  DynamicBatcher  |   worker 0 ── forward_batch (TW/CSR/dense)
+//!  ---------> (backpressure)|  max size / wait | → worker 1 ──   + simulated GPU dwell
+//!  --------->               +------------------+   worker N ── responses → ServeReport
+//! ```
+//!
+//! * [`queue::BoundedQueue`] — the admission path: multi-producer,
+//!   multi-consumer, bounded (submitters block when the system is
+//!   saturated), closable (shutdown drains in-flight work).
+//! * [`batcher::DynamicBatcher`] — groups requests into batches of at most
+//!   `max_batch_size`, waiting at most `max_batch_wait` after the batch
+//!   head arrives: the standard latency/throughput compromise.
+//! * [`pool::WorkerPool`] — N threads, each executing whole batches on a
+//!   shared [`tilewise::InferenceSession`] (compacted tile-wise weights,
+//!   CSR or masked dense), then dwelling for the batch's simulated device
+//!   time so pool-level overlap behaves like a real accelerator-backed tier.
+//! * [`stats::ServeReport`] — per-request latency percentiles (p50/p95/p99),
+//!   throughput, batch-size and per-worker counters.
+//!
+//! The [`Server`] ties these together; [`serve_closed_loop`] is the
+//! one-call harness the benchmarks and examples use.
+//!
+//! Everything is deterministic except scheduling: responses carry request
+//! ids, and the batched sparse outputs equal per-request dense inference
+//! within kernel tolerance (pinned by `tests/serving_end_to_end.rs`).
+
+pub mod batcher;
+pub mod config;
+pub mod pool;
+pub mod queue;
+pub mod request;
+pub mod stats;
+
+pub use batcher::DynamicBatcher;
+pub use config::{GpuDwell, ServeConfig};
+pub use pool::WorkerPool;
+pub use queue::{BoundedQueue, Pop};
+pub use request::{InferenceRequest, InferenceResponse};
+pub use stats::{LatencySummary, ServeReport, WorkerStats};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+use tilewise::InferenceSession;
+
+/// A running serving instance: submit requests, then shut down for a report.
+pub struct Server {
+    session: Arc<InferenceSession>,
+    queue: Arc<BoundedQueue<InferenceRequest>>,
+    pool: WorkerPool,
+    responses: Mutex<Receiver<InferenceResponse>>,
+    // Latencies of responses already handed out via `drain_responses`, so
+    // the final report still covers the whole run.
+    drained_latencies: Mutex<Vec<f64>>,
+    // Kept so the response channel outlives the workers; dropped in
+    // `shutdown` so the final drain terminates.
+    _response_tx: Sender<InferenceResponse>,
+    next_id: AtomicU64,
+    started: Instant,
+}
+
+impl Server {
+    /// Starts the queue, batcher and worker pool for `session`.
+    ///
+    /// # Panics
+    /// Panics if `config` is invalid (see [`ServeConfig::validate`]).
+    pub fn start(session: Arc<InferenceSession>, config: ServeConfig) -> Self {
+        config.validate();
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let batcher = Arc::new(DynamicBatcher::new(
+            Arc::clone(&queue),
+            config.max_batch_size,
+            config.max_batch_wait,
+        ));
+        let (tx, rx) = mpsc::channel();
+        let pool = WorkerPool::spawn(Arc::clone(&session), batcher, &config, tx.clone());
+        Self {
+            session,
+            queue,
+            pool,
+            responses: Mutex::new(rx),
+            drained_latencies: Mutex::new(Vec::new()),
+            _response_tx: tx,
+            next_id: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// The served model.
+    pub fn session(&self) -> &Arc<InferenceSession> {
+        &self.session
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Submits one request, blocking while the queue is full.  Returns the
+    /// assigned request id, or `Err` if the server is shutting down.
+    ///
+    /// # Panics
+    /// Panics if the payload length does not match the model's input dim —
+    /// rejecting malformed requests at admission instead of inside a worker.
+    pub fn submit(&self, payload: Vec<f32>) -> Result<u64, ServerClosed> {
+        assert_eq!(
+            payload.len(),
+            self.session.input_dim(),
+            "request payload length must match the model input dim"
+        );
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.queue.push(InferenceRequest::new(id, payload)).map(|()| id).map_err(|_| ServerClosed)
+    }
+
+    /// Non-blocking drain of responses completed so far.  Drained responses
+    /// remain accounted for in the final [`ServeReport`].
+    pub fn drain_responses(&self) -> Vec<InferenceResponse> {
+        let drained: Vec<InferenceResponse> =
+            self.responses.lock().expect("response receiver poisoned").try_iter().collect();
+        self.drained_latencies
+            .lock()
+            .expect("latency log poisoned")
+            .extend(drained.iter().map(|r| r.latency.as_secs_f64()));
+        drained
+    }
+
+    /// Stops admission, lets the workers drain the queue, joins them and
+    /// returns the whole run's report plus the responses not previously
+    /// handed out by [`Server::drain_responses`].
+    pub fn shutdown(self) -> (ServeReport, Vec<InferenceResponse>) {
+        self.queue.close();
+        let worker_stats = self.pool.join();
+        // Workers are done; hang up our own sender so the drain terminates.
+        drop(self._response_tx);
+        let receiver = self.responses.into_inner().expect("response receiver poisoned");
+        let responses: Vec<InferenceResponse> = receiver.iter().collect();
+        let mut latencies = self.drained_latencies.into_inner().expect("latency log poisoned");
+        latencies.extend(responses.iter().map(|r| r.latency.as_secs_f64()));
+        let report = ServeReport::from_latencies(latencies, self.started.elapsed(), worker_stats);
+        (report, responses)
+    }
+}
+
+/// Error returned by [`Server::submit`] once shutdown has begun.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerClosed;
+
+impl std::fmt::Display for ServerClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server is shutting down; request rejected")
+    }
+}
+
+impl std::error::Error for ServerClosed {}
+
+/// Closed-loop harness: submit every payload (blocking on backpressure),
+/// then shut down and report.  This is what the serving benchmark and the
+/// example drive.
+pub fn serve_closed_loop(
+    session: Arc<InferenceSession>,
+    config: ServeConfig,
+    payloads: Vec<Vec<f32>>,
+) -> (ServeReport, Vec<InferenceResponse>) {
+    let server = Server::start(session, config);
+    for payload in payloads {
+        server.submit(payload).expect("closed-loop submit before shutdown");
+    }
+    server.shutdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use tilewise::Backend;
+    use tw_models::RequestGenerator;
+
+    fn session(backend: Backend) -> Arc<InferenceSession> {
+        Arc::new(InferenceSession::synthetic_chain(&[24, 32, 12], 0.5, 8, 17, backend))
+    }
+
+    fn quick_config(workers: usize) -> ServeConfig {
+        ServeConfig {
+            workers,
+            max_batch_size: 8,
+            max_batch_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+            gpu_dwell: None,
+        }
+    }
+
+    #[test]
+    fn closed_loop_serves_every_request_exactly_once() {
+        let mut generator = RequestGenerator::new(24, 1.0, 5);
+        let payloads = generator.payloads(100);
+        let (report, responses) =
+            serve_closed_loop(session(Backend::TileWise), quick_config(2), payloads);
+        assert_eq!(report.completed, 100);
+        let mut ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<u64>>());
+        assert_eq!(report.latency.count, 100);
+        assert!(report.latency.p50_s <= report.latency.p95_s);
+        assert!(report.latency.p95_s <= report.latency.p99_s);
+        assert!(report.latency.p99_s <= report.latency.max_s);
+        assert!(report.throughput_rps() > 0.0);
+        assert!(report.mean_batch_size() >= 1.0);
+        assert_eq!(report.workers.len(), 2);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let server = Server::start(session(Backend::Dense), quick_config(1));
+        let id = server.submit(vec![0.0; 24]).unwrap();
+        assert_eq!(id, 0);
+        let queue = Arc::clone(&server.queue);
+        let (report, _) = server.shutdown();
+        assert_eq!(report.completed, 1);
+        assert!(queue.is_closed());
+    }
+
+    #[test]
+    #[should_panic(expected = "payload length")]
+    fn malformed_payload_rejected_at_admission() {
+        let server = Server::start(session(Backend::Dense), quick_config(1));
+        let _ = server.submit(vec![0.0; 3]);
+    }
+
+    #[test]
+    fn drain_responses_streams_results() {
+        let server = Server::start(session(Backend::TileWise), quick_config(1));
+        for _ in 0..10 {
+            server.submit(vec![0.25; 24]).unwrap();
+        }
+        // Poll until the pipeline has pushed everything through.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut drained = Vec::new();
+        while drained.len() < 10 && Instant::now() < deadline {
+            drained.extend(server.drain_responses());
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(drained.len(), 10, "pipeline stalled");
+        let (report, late) = server.shutdown();
+        // Responses already streamed out stay accounted for in the report.
+        assert!(late.is_empty(), "everything was already drained");
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.latency.count, 10);
+    }
+
+    #[test]
+    fn gpu_dwell_overlaps_across_workers() {
+        // With a dwell that dominates CPU time, quadrupling the workers must
+        // cut wall time noticeably — the core serving-tier property.
+        let mut generator = RequestGenerator::new(24, 1.0, 9);
+        let payloads = generator.payloads(64);
+        let dwell_cfg = |workers| ServeConfig {
+            workers,
+            max_batch_size: 4,
+            max_batch_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+            // Huge scale so the modelled microsecond batches dwell ~ms.
+            gpu_dwell: Some(GpuDwell { time_scale: 2e3 }),
+        };
+        let (one, _) =
+            serve_closed_loop(session(Backend::TileWise), dwell_cfg(1), payloads.clone());
+        let (four, _) = serve_closed_loop(session(Backend::TileWise), dwell_cfg(4), payloads);
+        assert_eq!(one.completed, 64);
+        assert_eq!(four.completed, 64);
+        assert!(
+            four.wall.as_secs_f64() < one.wall.as_secs_f64() * 0.7,
+            "4 workers {:?} should beat 1 worker {:?} by >30%",
+            four.wall,
+            one.wall
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! The worker pool: threads that turn batches into responses.
+//!
+//! Each worker loops on the shared [`DynamicBatcher`], fuses the batch's
+//! payloads into one activation matrix, runs the session's batched sparse
+//! forward pass on the CPU, then — when configured — dwells for the batch's
+//! simulated device time from the GPU cost model, exactly as a real worker
+//! blocks on an accelerator.  The dwell is why a pool helps even on a small
+//! host: while one worker waits on the "device", another batches and
+//! launches.
+
+use crate::batcher::DynamicBatcher;
+use crate::config::ServeConfig;
+use crate::request::{InferenceRequest, InferenceResponse};
+use crate::stats::WorkerStats;
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tilewise::InferenceSession;
+use tw_tensor::Matrix;
+
+/// Handle over the pool's threads; joined at shutdown.
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<WorkerStats>>,
+}
+
+impl WorkerPool {
+    /// Spawns `config.workers` threads draining `batcher` into `responses`.
+    ///
+    /// Worker threads exit when the batcher's queue is closed and drained;
+    /// they stop sending silently if the response receiver is dropped early.
+    pub fn spawn(
+        session: Arc<InferenceSession>,
+        batcher: Arc<DynamicBatcher<InferenceRequest>>,
+        config: &ServeConfig,
+        responses: Sender<InferenceResponse>,
+    ) -> Self {
+        let handles = (0..config.workers)
+            .map(|worker| {
+                let session = Arc::clone(&session);
+                let batcher = Arc::clone(&batcher);
+                let responses = responses.clone();
+                let dwell = config.gpu_dwell;
+                std::thread::Builder::new()
+                    .name(format!("tw-serve-worker-{worker}"))
+                    .spawn(move || run_worker(worker, &session, &batcher, dwell, &responses))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self { handles }
+    }
+
+    /// Number of worker threads.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the pool has no workers (never true for a spawned pool).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every worker to finish and returns their counters.
+    pub fn join(self) -> Vec<WorkerStats> {
+        self.handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    }
+}
+
+fn run_worker(
+    worker: usize,
+    session: &InferenceSession,
+    batcher: &DynamicBatcher<InferenceRequest>,
+    dwell: Option<crate::config::GpuDwell>,
+    responses: &Sender<InferenceResponse>,
+) -> WorkerStats {
+    let mut stats = WorkerStats { worker, ..WorkerStats::default() };
+    // The simulated device time depends only on batch size; memoize the
+    // planner pricing so the hot loop stays cheap.
+    let mut priced: HashMap<usize, f64> = HashMap::new();
+
+    while let Some(batch) = batcher.next_batch() {
+        let cpu_start = Instant::now();
+        let rows: Vec<&[f32]> = batch.iter().map(|r| r.payload.as_slice()).collect();
+        let inputs = Matrix::from_rows(&rows);
+        let outputs = session.forward_batch(&inputs);
+        stats.cpu_busy += cpu_start.elapsed();
+
+        let sim_s = *priced
+            .entry(batch.len())
+            .or_insert_with(|| session.simulated_batch_seconds(batch.len()));
+        stats.sim_gpu_s += sim_s;
+        if let Some(dwell) = dwell {
+            let wait = sim_s * dwell.time_scale;
+            if wait > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(wait));
+            }
+        }
+
+        stats.batches += 1;
+        stats.requests += batch.len();
+        let batch_size = batch.len();
+        for (i, request) in batch.into_iter().enumerate() {
+            let response = InferenceResponse {
+                id: request.id,
+                output: outputs.row(i).to_vec(),
+                latency: request.submitted_at.elapsed(),
+                batch_size,
+                worker,
+            };
+            if responses.send(response).is_err() {
+                // Receiver dropped: the server is being torn down early;
+                // keep draining so submitters are not wedged on a full queue.
+                break;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::BoundedQueue;
+    use std::sync::mpsc;
+    use tilewise::Backend;
+
+    fn tiny_session() -> Arc<InferenceSession> {
+        Arc::new(InferenceSession::synthetic_chain(&[24, 32, 16], 0.5, 8, 3, Backend::TileWise))
+    }
+
+    fn spawn_pool(
+        workers: usize,
+        capacity: usize,
+    ) -> (Arc<DynamicBatcher<InferenceRequest>>, WorkerPool, mpsc::Receiver<InferenceResponse>)
+    {
+        let session = tiny_session();
+        let queue = Arc::new(BoundedQueue::new(capacity));
+        let batcher = Arc::new(DynamicBatcher::new(queue, 4, Duration::from_millis(2)));
+        let (tx, rx) = mpsc::channel();
+        let config = ServeConfig {
+            workers,
+            max_batch_size: 4,
+            queue_capacity: capacity,
+            ..ServeConfig::default()
+        };
+        let pool = WorkerPool::spawn(session, Arc::clone(&batcher), &config, tx);
+        (batcher, pool, rx)
+    }
+
+    #[test]
+    fn workers_complete_all_requests_and_exit_on_close() {
+        let (batcher, pool, rx) = spawn_pool(2, 64);
+        for id in 0..20 {
+            batcher.queue().push(InferenceRequest::new(id, vec![0.1; 24])).unwrap();
+        }
+        batcher.queue().close();
+        let stats = pool.join();
+        let responses: Vec<InferenceResponse> = rx.try_iter().collect();
+        assert_eq!(responses.len(), 20);
+        let mut ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..20).collect::<Vec<u64>>());
+        assert!(responses.iter().all(|r| r.output.len() == 16));
+        assert!(responses.iter().all(|r| r.batch_size >= 1 && r.batch_size <= 4));
+        assert_eq!(stats.iter().map(|s| s.requests).sum::<usize>(), 20);
+        assert_eq!(
+            stats.iter().map(|s| s.batches).sum::<usize>(),
+            responses.iter().map(|r| 1.0 / r.batch_size as f64).sum::<f64>().round() as usize,
+        );
+        assert!(stats.iter().all(|s| s.sim_gpu_s >= 0.0));
+    }
+
+    #[test]
+    fn responses_match_direct_session_output() {
+        let session = tiny_session();
+        let (batcher, pool, rx) = spawn_pool(1, 16);
+        let payload: Vec<f32> = (0..24).map(|i| (i as f32) * 0.05 - 0.5).collect();
+        batcher.queue().push(InferenceRequest::new(1, payload.clone())).unwrap();
+        batcher.queue().close();
+        pool.join();
+        let response = rx.try_iter().next().expect("one response");
+        let expected = session.forward_one(&payload);
+        assert_eq!(response.output.len(), expected.len());
+        for (a, b) in response.output.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pool_with_closed_empty_queue_exits_immediately() {
+        let (batcher, pool, _rx) = spawn_pool(3, 8);
+        batcher.queue().close();
+        let stats = pool.join();
+        assert_eq!(stats.len(), 3);
+        assert!(stats.iter().all(|s| s.batches == 0));
+    }
+}

@@ -1,0 +1,254 @@
+//! A bounded, closable MPMC queue — the admission path of the server.
+//!
+//! `std::sync::mpsc` channels are single-consumer and unbounded (or
+//! rendezvous when bounded), neither of which fits a serving queue: many
+//! workers pop concurrently, submitters must feel backpressure when the
+//! system is saturated, and shutdown must let workers drain what is already
+//! queued.  This queue is a `Mutex<VecDeque>` with two condvars (not-empty /
+//! not-full) and a closed flag.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Result of a pop attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The queue stayed empty for the whole timeout (but is still open).
+    TimedOut,
+    /// The queue is closed and fully drained; no item will ever arrive.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue with close semantics.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.  Returns the item
+    /// back as `Err` if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Dequeues immediately if an item is available.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        let item = state.items.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Dequeues, waiting up to `timeout` for an item.  Items still queued at
+    /// close time are drained before [`Pop::Closed`] is reported.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Pop::Item(item);
+            }
+            if state.closed {
+                return Pop::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Pop::TimedOut;
+            }
+            let (next, timed_out) =
+                self.not_empty.wait_timeout(state, deadline - now).expect("queue lock poisoned");
+            state = next;
+            if timed_out.timed_out() && state.items.is_empty() && !state.closed {
+                return Pop::TimedOut;
+            }
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail, queued items remain
+    /// poppable, and blocked poppers wake up.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock poisoned").closed
+    }
+
+    /// Number of queued items right now.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn pop_timeout_times_out_when_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let start = Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(20)), Pop::TimedOut);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Closed);
+    }
+
+    #[test]
+    fn full_queue_blocks_until_a_pop() {
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                q.push(3).unwrap();
+                start.elapsed()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.try_pop(), Some(1));
+        let blocked_for = producer.join().unwrap();
+        assert!(
+            blocked_for >= Duration::from_millis(20),
+            "producer should have blocked, blocked {blocked_for:?}"
+        );
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(2));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_timeout(Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), Pop::Closed);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::new(16));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    loop {
+                        match q.pop_timeout(Duration::from_secs(10)) {
+                            Pop::Item(v) => seen.push(v),
+                            Pop::Closed => break,
+                            Pop::TimedOut => panic!("starved"),
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let mut expected: Vec<u64> =
+            (0..4).flat_map(|p| (0..100).map(move |i| p * 1000 + i)).collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: BoundedQueue<u8> = BoundedQueue::new(0);
+    }
+}

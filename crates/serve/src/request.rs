@@ -1,0 +1,51 @@
+//! Request and response types flowing through the serving runtime.
+
+use std::time::{Duration, Instant};
+
+/// One inference request: a payload vector plus submission bookkeeping.
+#[derive(Clone, Debug)]
+pub struct InferenceRequest {
+    /// Server-assigned unique id.
+    pub id: u64,
+    /// Input features; length must equal the served model's input dim.
+    pub payload: Vec<f32>,
+    /// When the request entered the server (starts the latency clock).
+    pub submitted_at: Instant,
+}
+
+impl InferenceRequest {
+    /// A request submitted now.
+    pub fn new(id: u64, payload: Vec<f32>) -> Self {
+        Self { id, payload, submitted_at: Instant::now() }
+    }
+}
+
+/// The completed result of one request.
+#[derive(Clone, Debug)]
+pub struct InferenceResponse {
+    /// Id of the originating request.
+    pub id: u64,
+    /// Model output row for this request.
+    pub output: Vec<f32>,
+    /// Submission-to-completion latency.
+    pub latency: Duration,
+    /// Size of the batch this request was fused into.
+    pub batch_size: usize,
+    /// Index of the worker that executed the batch.
+    pub worker: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_stamps_submission_time() {
+        let before = Instant::now();
+        let req = InferenceRequest::new(7, vec![1.0, 2.0]);
+        assert_eq!(req.id, 7);
+        assert_eq!(req.payload.len(), 2);
+        assert!(req.submitted_at >= before);
+        assert!(req.submitted_at.elapsed() < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,212 @@
+//! Latency and throughput accounting.
+
+use crate::request::InferenceResponse;
+use std::time::Duration;
+
+/// Order statistics over a set of request latencies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Mean latency in seconds.
+    pub mean_s: f64,
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// Worst observed latency.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes latency samples (seconds).  Returns an all-zero summary
+    /// for an empty input.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Self { count: 0, mean_s: 0.0, p50_s: 0.0, p95_s: 0.0, p99_s: 0.0, max_s: 0.0 };
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies must not be NaN"));
+        let count = samples.len();
+        let mean_s = samples.iter().sum::<f64>() / count as f64;
+        Self {
+            count,
+            mean_s,
+            p50_s: percentile(&samples, 0.50),
+            p95_s: percentile(&samples, 0.95),
+            p99_s: percentile(&samples, 0.99),
+            max_s: samples[count - 1],
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Per-worker execution counters, merged into the final report.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Batches this worker executed.
+    pub batches: usize,
+    /// Requests this worker completed.
+    pub requests: usize,
+    /// Wall time spent in CPU kernel execution.
+    pub cpu_busy: Duration,
+    /// Simulated device seconds this worker's batches were priced at.
+    pub sim_gpu_s: f64,
+}
+
+/// The outcome of one serving run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Requests completed.
+    pub completed: usize,
+    /// Wall-clock span from server start to shutdown.
+    pub wall: Duration,
+    /// Latency order statistics.
+    pub latency: LatencySummary,
+    /// Total batches executed across workers.
+    pub batches: usize,
+    /// Per-worker counters.
+    pub workers: Vec<WorkerStats>,
+    /// Total simulated device seconds across all batches.
+    pub sim_gpu_s: f64,
+}
+
+impl ServeReport {
+    /// Builds a report from collected responses and worker counters.
+    pub fn new(responses: &[InferenceResponse], wall: Duration, workers: Vec<WorkerStats>) -> Self {
+        let samples: Vec<f64> = responses.iter().map(|r| r.latency.as_secs_f64()).collect();
+        Self::from_latencies(samples, wall, workers)
+    }
+
+    /// Builds a report from raw latency samples (seconds) and worker
+    /// counters — the form the server uses so responses already streamed
+    /// out via `drain_responses` stay accounted for.
+    pub fn from_latencies(
+        latencies_s: Vec<f64>,
+        wall: Duration,
+        workers: Vec<WorkerStats>,
+    ) -> Self {
+        let batches = workers.iter().map(|w| w.batches).sum();
+        let sim_gpu_s = workers.iter().map(|w| w.sim_gpu_s).sum();
+        Self {
+            completed: latencies_s.len(),
+            wall,
+            latency: LatencySummary::from_samples(latencies_s),
+            batches,
+            workers,
+            sim_gpu_s,
+        }
+    }
+
+    /// Completed requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / secs
+    }
+
+    /// Mean number of requests fused per batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.batches as f64
+    }
+
+    /// One human-readable summary line per run.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests in {:.3}s | {:.1} req/s | batch x̄ {:.2} | latency p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | sim-GPU {:.3}s",
+            self.completed,
+            self.wall.as_secs_f64(),
+            self.throughput_rps(),
+            self.mean_batch_size(),
+            self.latency.p50_s * 1e3,
+            self.latency.p95_s * 1e3,
+            self.latency.p99_s * 1e3,
+            self.sim_gpu_s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+    }
+
+    #[test]
+    fn summary_from_samples() {
+        let s = LatencySummary::from_samples(vec![0.4, 0.1, 0.2, 0.3]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean_s - 0.25).abs() < 1e-12);
+        assert_eq!(s.p50_s, 0.2);
+        assert_eq!(s.max_s, 0.4);
+    }
+
+    #[test]
+    fn empty_samples_are_all_zero() {
+        let s = LatencySummary::from_samples(Vec::new());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_s, 0.0);
+    }
+
+    #[test]
+    fn report_aggregates_workers() {
+        let responses: Vec<InferenceResponse> = (0..10)
+            .map(|i| InferenceResponse {
+                id: i,
+                output: vec![0.0],
+                latency: Duration::from_millis(10 + i),
+                batch_size: 5,
+                worker: (i % 2) as usize,
+            })
+            .collect();
+        let workers = vec![
+            WorkerStats {
+                worker: 0,
+                batches: 1,
+                requests: 5,
+                cpu_busy: Duration::ZERO,
+                sim_gpu_s: 0.5,
+            },
+            WorkerStats {
+                worker: 1,
+                batches: 1,
+                requests: 5,
+                cpu_busy: Duration::ZERO,
+                sim_gpu_s: 0.25,
+            },
+        ];
+        let report = ServeReport::new(&responses, Duration::from_secs(2), workers);
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.batches, 2);
+        assert!((report.throughput_rps() - 5.0).abs() < 1e-12);
+        assert!((report.mean_batch_size() - 5.0).abs() < 1e-12);
+        assert!((report.sim_gpu_s - 0.75).abs() < 1e-12);
+        assert!(report.summary().contains("req/s"));
+    }
+}

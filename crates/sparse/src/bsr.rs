@@ -62,7 +62,16 @@ impl BsrMatrix {
             }
             block_row_ptr.push(block_col_idx.len());
         }
-        Self { rows, cols, block_size, block_rows, block_cols, block_row_ptr, block_col_idx, blocks }
+        Self {
+            rows,
+            cols,
+            block_size,
+            block_rows,
+            block_cols,
+            block_row_ptr,
+            block_col_idx,
+            blocks,
+        }
     }
 
     /// Number of rows of the logical matrix.
@@ -111,11 +120,8 @@ impl BsrMatrix {
         if stored == 0 {
             return 0.0;
         }
-        let nonzeros: usize = self
-            .blocks
-            .iter()
-            .map(|b| b.iter().filter(|&&v| v != 0.0).count())
-            .sum();
+        let nonzeros: usize =
+            self.blocks.iter().map(|b| b.iter().filter(|&&v| v != 0.0).count()).sum();
         1.0 - nonzeros as f64 / stored as f64
     }
 
@@ -125,11 +131,8 @@ impl BsrMatrix {
         if total == 0 {
             return 0.0;
         }
-        let nonzeros: usize = self
-            .blocks
-            .iter()
-            .map(|b| b.iter().filter(|&&v| v != 0.0).count())
-            .sum();
+        let nonzeros: usize =
+            self.blocks.iter().map(|b| b.iter().filter(|&&v| v != 0.0).count()).sum();
         1.0 - nonzeros as f64 / total as f64
     }
 

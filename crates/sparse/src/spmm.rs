@@ -57,6 +57,14 @@ pub fn dense_csr_matmul_par(a: &Matrix, b: &CsrMatrix) -> Matrix {
     Matrix::from_vec(m, n, out)
 }
 
+/// The serving-side batched entry point: many per-request activation
+/// matrices against one shared CSR weight, `C_i = A_i * B`, parallel over
+/// batch items.  This is the kernel shape a dynamic batcher reduces a batch
+/// of CSR-baseline inference requests to.
+pub fn dense_csr_matmul_batch(activations: &[&Matrix], b: &CsrMatrix) -> Vec<Matrix> {
+    activations.par_iter().map(|a| dense_csr_matmul(a, b)).collect()
+}
+
 /// Dense x CSC: `C = A * B` where `B` is CSC.
 ///
 /// This is the kernel used for the TEW element-wise overlay, which the paper
@@ -211,6 +219,18 @@ mod tests {
         let b_dense = random_sparse(8, 7, 0.5, 10);
         let c = csr_csr_matmul(&CsrMatrix::from_dense(&a_dense), &CsrMatrix::from_dense(&b_dense));
         assert!(c.approx_eq(&gemm(&a_dense, &b_dense), DEFAULT_TOL));
+    }
+
+    #[test]
+    fn batched_dense_csr_matches_individual() {
+        let b_dense = random_sparse(10, 8, 0.3, 12);
+        let b = CsrMatrix::from_dense(&b_dense);
+        let a1 = Matrix::random_uniform(3, 10, 1.0, 13);
+        let a2 = Matrix::random_uniform(6, 10, 1.0, 14);
+        let outs = dense_csr_matmul_batch(&[&a1, &a2], &b);
+        assert_eq!(outs.len(), 2);
+        assert!(outs[0].approx_eq(&gemm(&a1, &b_dense), DEFAULT_TOL));
+        assert!(outs[1].approx_eq(&gemm(&a2, &b_dense), DEFAULT_TOL));
     }
 
     #[test]

@@ -155,16 +155,10 @@ pub fn gemm_par(a: &Matrix, b: &Matrix) -> Matrix {
 /// in their original relative order, exactly as the paper stores `B_tile`
 /// after the offline pre-processing step.
 pub fn gemm_masked(a: &Matrix, b_compact: &Matrix, mask_k: &[bool], mask_n: &[bool]) -> Matrix {
-    let kept_k: Vec<usize> = mask_k
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &keep)| keep.then_some(i))
-        .collect();
-    let kept_n: Vec<usize> = mask_n
-        .iter()
-        .enumerate()
-        .filter_map(|(j, &keep)| keep.then_some(j))
-        .collect();
+    let kept_k: Vec<usize> =
+        mask_k.iter().enumerate().filter_map(|(i, &keep)| keep.then_some(i)).collect();
+    let kept_n: Vec<usize> =
+        mask_n.iter().enumerate().filter_map(|(j, &keep)| keep.then_some(j)).collect();
     assert_eq!(a.cols(), mask_k.len(), "mask_k length must match K");
     assert_eq!(
         b_compact.shape(),
@@ -202,6 +196,16 @@ pub fn batched_gemm(a: &Matrix, bs: &[&Matrix]) -> Vec<Matrix> {
 /// Rayon-parallel batched GEMM.
 pub fn batched_gemm_par(a: &Matrix, bs: &[&Matrix]) -> Vec<Matrix> {
     bs.par_iter().map(|b| gemm(a, b)).collect()
+}
+
+/// The serving-side batched entry point: many activation matrices against
+/// one shared weight matrix, `C_i = A_i * B`, parallel over batch items.
+///
+/// This is the dual of [`batched_gemm_par`]: in a serving batch every
+/// request brings its own activations while the (pruned) weights are shared,
+/// so the batch axis lives on `A`.
+pub fn gemm_many(activations: &[&Matrix], b: &Matrix) -> Vec<Matrix> {
+    activations.par_iter().map(|a| gemm(a, b)).collect()
 }
 
 #[cfg(test)]
@@ -281,15 +285,15 @@ mod tests {
 
         // Dense reference: zero the pruned rows/cols of B.
         let mut b_zeroed = b.clone();
-        for p in 0..k {
-            if !mask_k[p] {
+        for (p, &keep) in mask_k.iter().enumerate() {
+            if !keep {
                 for j in 0..n {
                     b_zeroed.set(p, j, 0.0);
                 }
             }
         }
-        for j in 0..n {
-            if !mask_n[j] {
+        for (j, &keep) in mask_n.iter().enumerate() {
+            if !keep {
                 for p in 0..k {
                     b_zeroed.set(p, j, 0.0);
                 }
@@ -312,6 +316,17 @@ mod tests {
         let c = gemm_masked(&a, &b_compact, &[false; 4], &[false; 5]);
         assert_eq!(c.shape(), (3, 5));
         assert_eq!(c.count_zeros(), 15);
+    }
+
+    #[test]
+    fn gemm_many_matches_individual() {
+        let b = Matrix::random_uniform(16, 8, 1.0, 12);
+        let a1 = Matrix::random_uniform(4, 16, 1.0, 13);
+        let a2 = Matrix::random_uniform(9, 16, 1.0, 14);
+        let outs = gemm_many(&[&a1, &a2], &b);
+        assert_eq!(outs.len(), 2);
+        assert!(outs[0].approx_eq(&gemm(&a1, &b), DEFAULT_TOL));
+        assert!(outs[1].approx_eq(&gemm(&a2, &b), DEFAULT_TOL));
     }
 
     #[test]

@@ -233,36 +233,21 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in add");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a + b)
-            .collect();
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Element-wise subtraction: `self - other`.
     pub fn sub(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in sub");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a - b)
-            .collect();
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Element-wise (Hadamard) product.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in hadamard");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .collect();
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
@@ -271,34 +256,21 @@ impl Matrix {
     /// The mask must have the same shape as the matrix, in row-major order.
     pub fn apply_mask(&self, keep: &[bool]) -> Matrix {
         assert_eq!(keep.len(), self.len(), "mask length mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(keep)
-            .map(|(&v, &k)| if k { v } else { 0.0 })
-            .collect();
+        let data = self.data.iter().zip(keep).map(|(&v, &k)| if k { v } else { 0.0 }).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Maximum absolute difference from another matrix of the same shape.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 
     /// True when every element of the two matrices agrees within `tol`
     /// (see [`crate::approx_eq`]).
     pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
         self.shape() == other.shape()
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(&a, &b)| crate::approx_eq(a, b, tol))
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| crate::approx_eq(a, b, tol))
     }
 }
 

@@ -14,7 +14,11 @@ fn main() {
     let dense_t = cost.dense_gemm(shape, CoreKind::TensorCore, Precision::Fp16).time_s;
     let dense_c = cost.dense_gemm(shape, CoreKind::CudaCore, Precision::Fp32).time_s;
     println!("BERT GEMM 1024x768x768 on a modelled V100");
-    println!("dense tensor-core: {:.1} us   dense CUDA-core: {:.1} us\n", dense_t * 1e6, dense_c * 1e6);
+    println!(
+        "dense tensor-core: {:.1} us   dense CUDA-core: {:.1} us\n",
+        dense_t * 1e6,
+        dense_c * 1e6
+    );
 
     println!(
         "{:>9} {:>14} {:>14} {:>14} {:>14}",
@@ -24,12 +28,8 @@ fn main() {
         let csr = cost.csr_spmm(shape, sparsity).time_s;
         let bsr = cost.bsr_gemm(shape, 32, sparsity).time_s;
         let tiles = uniform_tiles(768, 768, 128, sparsity);
-        let tw_t = cost
-            .tw_gemm(1024, 768, 768, &tiles, TwExecOptions::optimized_tensor())
-            .time_s;
-        let tw_c = cost
-            .tw_gemm(1024, 768, 768, &tiles, TwExecOptions::optimized_cuda())
-            .time_s;
+        let tw_t = cost.tw_gemm(1024, 768, 768, &tiles, TwExecOptions::optimized_tensor()).time_s;
+        let tw_c = cost.tw_gemm(1024, 768, 768, &tiles, TwExecOptions::optimized_cuda()).time_s;
         println!(
             "{:>8.0}% {:>14.1} {:>14.1} {:>14.1} {:>14.1}",
             sparsity * 100.0,

@@ -15,11 +15,8 @@ fn main() {
 
     // 1. Score and prune to 75% sparsity with tile granularity G = 128.
     let scores = ImportanceScores::magnitude(&weights);
-    let mask = tw::prune(
-        &scores,
-        &TileWiseConfig::with_granularity(128),
-        SparsityTarget::new(0.75),
-    );
+    let mask =
+        tw::prune(&scores, &TileWiseConfig::with_granularity(128), SparsityTarget::new(0.75));
     println!("achieved sparsity: {:.1}%", mask.sparsity() * 100.0);
     println!("tiles: {} (kept rows per tile: {:?})", mask.tiles().len(), mask.tile_kept_rows());
 

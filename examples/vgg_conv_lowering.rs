@@ -25,11 +25,7 @@ fn main() {
     // Lower the input feature map and prune the weight matrix tile-wise.
     let lowered = im2col(&input, &shape);
     let scores = ImportanceScores::magnitude(&weights);
-    let mask = tw::prune(
-        &scores,
-        &TileWiseConfig::with_granularity(64),
-        SparsityTarget::new(0.6),
-    );
+    let mask = tw::prune(&scores, &TileWiseConfig::with_granularity(64), SparsityTarget::new(0.6));
     let tw_weights = TileWiseMatrix::from_mask(&weights, &mask);
     println!("pruned conv weights to {:.1}% sparsity", tw_weights.sparsity() * 100.0);
 

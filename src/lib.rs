@@ -15,18 +15,20 @@ pub use tilewise;
 pub use tw_gpu_sim as gpu_sim;
 pub use tw_models as models;
 pub use tw_pruning as pruning;
+pub use tw_serve as serve;
 pub use tw_sparse as sparse;
 pub use tw_tensor as tensor;
 
 /// Commonly used types from across the workspace.
 pub mod prelude {
     pub use tilewise::{
-        ExecutionConfig, ModelEvaluation, PatternChoice, SparseModelReport, TewMatrix,
-        TileWiseMatrix, TileWisePruner,
+        Backend, ExecutionConfig, InferenceSession, ModelEvaluation, PatternChoice,
+        SparseModelReport, TewMatrix, TileWiseMatrix, TileWisePruner,
     };
     pub use tw_gpu_sim::{CoreKind, GpuDevice, KernelCounters};
-    pub use tw_models::{ModelKind, Workload};
+    pub use tw_models::{ModelKind, RequestGenerator, Workload};
     pub use tw_pruning::{ImportanceScores, PruningPattern, SparsityTarget};
+    pub use tw_serve::{serve_closed_loop, GpuDwell, ServeConfig, ServeReport, Server};
     pub use tw_sparse::{CscMatrix, CsrMatrix};
     pub use tw_tensor::{gemm, Matrix};
 }

@@ -58,9 +58,7 @@ fn tw_functional_execution_matches_dense_reference_on_model_layers() {
     });
     let pruned = pruner.prune(&mut layers);
 
-    for ((tm, mask), original) in
-        pruned.tile_matrices.iter().zip(&pruned.masks).zip(&originals)
-    {
+    for ((tm, mask), original) in pruned.tile_matrices.iter().zip(&pruned.masks).zip(&originals) {
         let activations = Matrix::random_uniform(5, original.rows(), 1.0, 99);
         let sparse = tm.matmul(&activations);
         let dense = gemm(&activations, &mask.apply(original));

@@ -96,10 +96,7 @@ fn fig14_only_tw_extends_the_pareto_frontier() {
             get("tw128", "tensor").speedup > 1.0,
             "{model}: TW must beat dense on tensor cores"
         );
-        assert!(
-            get("tw128", "cuda").speedup > 1.0,
-            "{model}: TW must beat dense on CUDA cores"
-        );
+        assert!(get("tw128", "cuda").speedup > 1.0, "{model}: TW must beat dense on CUDA cores");
         assert!(get("bw32", "tensor").speedup < 1.0, "{model}: BW must lose on tensor cores");
         assert!(get("ew", "cuda").speedup < 1.0, "{model}: EW must lose on CUDA cores");
         assert!(get("vw16", "cuda").speedup < 1.0, "{model}: VW must lose on CUDA cores");
@@ -119,8 +116,7 @@ fn fig15_optimisations_compose() {
         let no_transpose = get("w/o transpose");
         let transpose_only = get("transpose only");
         let optimised = get("transpose & fusion");
-        let total =
-            |r: &figures::Fig15Row| r.gemm_ms + r.transpose_ms + r.others_ms;
+        let total = |r: &figures::Fig15Row| r.gemm_ms + r.transpose_ms + r.others_ms;
         // Without the transpose optimisation the sparse GEMM hardly benefits.
         assert!(no_transpose.gemm_ms > optimised.gemm_ms * 1.5, "{model}");
         // Per-GEMM transposes add visible transpose time; the boundary
