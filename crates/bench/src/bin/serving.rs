@@ -1,25 +1,50 @@
 //! The serving benchmark: drive `tw-serve` with a synthetic closed loop and
-//! report throughput and latency percentiles per worker-pool size.
+//! report throughput and latency percentiles per worker-pool size and
+//! kernel backend.
 //!
-//! Per worker count (default 1, 2, 4) the benchmark builds a pruned
-//! tile-wise model, generates seeded request payloads, pushes them through
-//! the queue → dynamic batcher → worker pool pipeline and prints one CSV
-//! row.  Workers execute the real batched sparse CPU kernels and then dwell
-//! for the batch's simulated V100 time (scaled so one full batch costs
-//! `--dwell-ms` of wall clock), so throughput scales with pool-level
-//! overlap exactly as an accelerator-backed serving tier does — even on a
-//! single-core host.
+//! For every selected backend (default tile-wise; `--backend` accepts a
+//! comma list of `dense|tw|csr|bsr|auto`, and `--sweep-backends` selects all
+//! five) and worker count (default 1, 2, 4) the benchmark builds a pruned
+//! model, binds each layer to its kernel — `auto` lets the per-layer cost
+//! model pick — generates seeded request payloads, pushes them through the
+//! queue → dynamic batcher → worker pool pipeline and prints one CSV row.
+//! Workers execute the real batched sparse CPU kernels and then dwell for
+//! the batch's simulated V100 time (one shared scale, chosen so a full
+//! *dense* batch costs `--dwell-ms` of wall clock — cheaper backends dwell
+//! proportionally less, so modelled device-time differences survive into
+//! the measurements), so throughput scales with pool-level overlap exactly
+//! as an accelerator-backed serving tier does — even on a single-core host.
+//!
+//! With `--json PATH` the same numbers are also written as a
+//! machine-readable artifact (one record per backend x worker-count run),
+//! giving the repo a perf trajectory to track across commits:
 //!
 //! ```text
 //! cargo run --release -p tw-bench --bin serving -- \
-//!     --requests 2000 --batch 8 --wait-ms 2 --workers 1,2,4 --dwell-ms 4
+//!     --requests 2000 --batch 8 --wait-ms 2 --workers 1,2,4 \
+//!     --backend tw,auto --json BENCH_serving.json
 //! ```
 
+use std::fmt::Display;
 use std::sync::Arc;
-use tilewise::{Backend, InferenceSession};
-use tw_bench::{csv_header, csv_row, fmt};
+use tilewise::{AutoPlanner, Backend, InferenceSession, KernelRegistry};
+use tw_bench::{csv_header, csv_row, fmt, json};
 use tw_models::RequestGenerator;
-use tw_serve::{serve_closed_loop, GpuDwell, ServeConfig};
+use tw_serve::{serve_closed_loop, GpuDwell, ServeConfig, ServeReport};
+
+const USAGE: &str = "usage: serving [--requests N] [--batch N] [--wait-ms MS] \
+[--workers A,B,..] [--dims D0,D1,..] [--sparsity F] [--granularity N] \
+[--backend dense|tw|csr|bsr|auto[,..]] [--sweep-backends] [--dwell-ms MS] \
+[--seed N] [--json PATH]";
+
+/// Reports a usage error on stderr and exits non-zero — the benchmark is a
+/// CLI, so malformed flags should produce a readable message, not a panic
+/// backtrace.
+fn fail(msg: impl Display) -> ! {
+    eprintln!("serving: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
 
 struct Options {
     requests: usize,
@@ -29,9 +54,10 @@ struct Options {
     dims: Vec<usize>,
     sparsity: f64,
     granularity: usize,
-    backend: Backend,
+    backends: Vec<Backend>,
     dwell_ms: f64,
     seed: u64,
+    json_path: Option<String>,
 }
 
 impl Default for Options {
@@ -44,11 +70,28 @@ impl Default for Options {
             dims: vec![192, 192, 96],
             sparsity: 0.75,
             granularity: 32,
-            backend: Backend::TileWise,
+            backends: vec![Backend::TileWise],
             dwell_ms: 4.0,
             seed: 42,
+            json_path: None,
         }
     }
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: &str, expects: &str) -> T {
+    value.parse().unwrap_or_else(|_| fail(format!("{flag} expects {expects}, got {value:?}")))
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, value: &str, expects: &str) -> Vec<T> {
+    let items: Vec<T> = value
+        .split(',')
+        .filter(|part| !part.trim().is_empty())
+        .map(|part| parse(flag, part.trim(), expects))
+        .collect();
+    if items.is_empty() {
+        fail(format!("{flag} expects a non-empty comma-separated list"));
+    }
+    items
 }
 
 fn parse_args() -> Options {
@@ -56,78 +99,108 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value =
-            |name: &str| args.next().unwrap_or_else(|| panic!("missing value for {name}"));
+            |name: &str| args.next().unwrap_or_else(|| fail(format!("missing value for {name}")));
         match flag.as_str() {
-            "--requests" => opts.requests = value("--requests").parse().expect("usize"),
-            "--batch" => opts.max_batch = value("--batch").parse().expect("usize"),
-            "--wait-ms" => opts.wait_ms = value("--wait-ms").parse().expect("f64"),
+            "--requests" => opts.requests = parse("--requests", &value("--requests"), "an integer"),
+            "--batch" => opts.max_batch = parse("--batch", &value("--batch"), "an integer"),
+            "--wait-ms" => opts.wait_ms = parse("--wait-ms", &value("--wait-ms"), "a number"),
             "--workers" => {
-                opts.workers = value("--workers")
-                    .split(',')
-                    .map(|w| w.trim().parse().expect("worker count"))
-                    .collect();
+                opts.workers = parse_list("--workers", &value("--workers"), "an integer");
             }
-            "--dims" => {
-                opts.dims =
-                    value("--dims").split(',').map(|d| d.trim().parse().expect("dim")).collect();
+            "--dims" => opts.dims = parse_list("--dims", &value("--dims"), "an integer"),
+            "--sparsity" => opts.sparsity = parse("--sparsity", &value("--sparsity"), "a number"),
+            "--granularity" => {
+                opts.granularity = parse("--granularity", &value("--granularity"), "an integer");
             }
-            "--sparsity" => opts.sparsity = value("--sparsity").parse().expect("f64"),
-            "--granularity" => opts.granularity = value("--granularity").parse().expect("usize"),
             "--backend" => {
-                opts.backend = match value("--backend").as_str() {
-                    "tw" | "tilewise" => Backend::TileWise,
-                    "csr" => Backend::Csr,
-                    "dense" => Backend::Dense,
-                    other => panic!("unknown backend {other:?} (use tw|csr|dense)"),
-                };
+                opts.backends = value("--backend")
+                    .split(',')
+                    .filter(|part| !part.trim().is_empty())
+                    .map(|part| part.parse::<Backend>().unwrap_or_else(|e| fail(e)))
+                    .collect();
+                if opts.backends.is_empty() {
+                    fail("--backend expects a non-empty comma-separated list");
+                }
             }
-            "--dwell-ms" => opts.dwell_ms = value("--dwell-ms").parse().expect("f64"),
-            "--seed" => opts.seed = value("--seed").parse().expect("u64"),
-            other => panic!("unknown flag {other:?}"),
+            "--sweep-backends" => opts.backends = Backend::ALL.to_vec(),
+            "--dwell-ms" => opts.dwell_ms = parse("--dwell-ms", &value("--dwell-ms"), "a number"),
+            "--seed" => opts.seed = parse("--seed", &value("--seed"), "an integer"),
+            "--json" => opts.json_path = Some(value("--json")),
+            other => fail(format!("unknown flag {other:?}")),
         }
+    }
+    if opts.requests == 0 {
+        fail("--requests must be at least 1");
+    }
+    if opts.max_batch == 0 {
+        fail("--batch must be at least 1");
+    }
+    if opts.workers.contains(&0) {
+        fail("--workers entries must be at least 1");
+    }
+    if !opts.wait_ms.is_finite() || opts.wait_ms < 0.0 {
+        fail("--wait-ms must be a non-negative number");
+    }
+    if !opts.dwell_ms.is_finite() || opts.dwell_ms < 0.0 {
+        fail("--dwell-ms must be a non-negative number");
+    }
+    if !(0.0..=1.0).contains(&opts.sparsity) {
+        fail("--sparsity must be in [0, 1]");
+    }
+    if opts.granularity == 0 {
+        fail("--granularity must be at least 1");
+    }
+    if opts.dims.len() < 2 {
+        fail("--dims needs at least an input and an output dimension");
+    }
+    if opts.dims.contains(&0) {
+        fail("--dims entries must be at least 1");
     }
     opts
 }
 
+/// One benchmark run's record, kept for the JSON artifact.
+struct RunRecord {
+    backend: Backend,
+    plan: Vec<String>,
+    workers: usize,
+    report: ServeReport,
+}
+
+impl RunRecord {
+    fn to_json(&self) -> String {
+        json::object(&[
+            ("backend", json::string(self.backend.as_str())),
+            ("plan", json::array(self.plan.iter().map(|p| json::string(p)))),
+            ("workers", self.workers.to_string()),
+            ("requests", self.report.completed.to_string()),
+            ("throughput_rps", json::number(self.report.throughput_rps())),
+            ("p50_ms", json::number(self.report.latency.p50_s * 1e3)),
+            ("p95_ms", json::number(self.report.latency.p95_s * 1e3)),
+            ("p99_ms", json::number(self.report.latency.p99_s * 1e3)),
+            ("mean_batch", json::number(self.report.mean_batch_size())),
+            ("sim_gpu_s", json::number(self.report.sim_gpu_s)),
+        ])
+    }
+}
+
 fn main() {
     let opts = parse_args();
-    assert!(opts.requests > 0, "need at least one request");
-    assert!(!opts.workers.is_empty(), "need at least one worker count");
-
-    let session = Arc::new(InferenceSession::synthetic_chain(
-        &opts.dims,
-        opts.sparsity,
-        opts.granularity,
-        opts.seed,
-        opts.backend,
-    ));
-    // Scale simulated V100 time so one full batch dwells `dwell_ms` of wall
-    // clock; 0 disables the dwell entirely (pure CPU benchmark).
-    let gpu_dwell = if opts.dwell_ms > 0.0 {
-        let full_batch_s = session.simulated_batch_seconds(opts.max_batch);
-        Some(GpuDwell { time_scale: opts.dwell_ms * 1e-3 / full_batch_s })
-    } else {
-        None
-    };
 
     eprintln!(
-        "# serving {} requests | model {:?} @ {:.0}% sparsity ({} backend) | batch<={} wait {}ms | dwell {}ms/batch",
+        "# serving {} requests | model {:?} @ {:.0}% target sparsity | backends [{}] | batch<={} wait {}ms | dwell {}ms/batch",
         opts.requests,
         opts.dims,
-        session.sparsity() * 100.0,
-        session.backend().name(),
+        opts.sparsity * 100.0,
+        opts.backends.iter().map(Backend::as_str).collect::<Vec<_>>().join(","),
         opts.max_batch,
         opts.wait_ms,
         opts.dwell_ms,
     );
-    eprintln!(
-        "# modelled batching win: one fused batch of {} is {:.2}x faster on-device than {} singles over 4 streams",
-        opts.max_batch,
-        session.batching_speedup(opts.max_batch, 4),
-        opts.max_batch,
-    );
 
     csv_header(&[
+        "backend",
+        "plan",
         "workers",
         "requests",
         "throughput_rps",
@@ -138,46 +211,117 @@ fn main() {
         "sim_gpu_s",
     ]);
 
-    let mut generator = RequestGenerator::new(session.input_dim(), 1.0, opts.seed);
-    let mut throughputs: Vec<(usize, f64)> = Vec::new();
-    for &workers in &opts.workers {
-        let config = ServeConfig {
-            max_batch_size: opts.max_batch,
-            max_batch_wait: std::time::Duration::from_secs_f64(opts.wait_ms * 1e-3),
-            workers,
-            queue_capacity: (opts.max_batch * workers * 4).max(64),
-            gpu_dwell,
-        };
-        let payloads = generator.payloads(opts.requests);
-        let (report, _) = serve_closed_loop(Arc::clone(&session), config, payloads);
-        assert_eq!(report.completed, opts.requests, "lost requests at {workers} workers");
-        csv_row(&[
-            workers.to_string(),
-            report.completed.to_string(),
-            fmt(report.throughput_rps()),
-            fmt(report.latency.p50_s * 1e3),
-            fmt(report.latency.p95_s * 1e3),
-            fmt(report.latency.p99_s * 1e3),
-            fmt(report.mean_batch_size()),
-            fmt(report.sim_gpu_s),
-        ]);
-        throughputs.push((workers, report.throughput_rps()));
+    // One pruned model shared by every backend run (the tiles are the
+    // deterministic source of truth; only the kernel binding differs), and
+    // one auto-planner priced at the batch size actually benchmarked.
+    let tiles =
+        InferenceSession::synthetic_tiles(&opts.dims, opts.sparsity, opts.granularity, opts.seed);
+    let num_layers = tiles.len();
+    let registry = KernelRegistry::standard();
+    let auto = AutoPlanner::v100(opts.max_batch);
+
+    // Scale simulated V100 time so one full *dense* batch dwells `dwell_ms`
+    // of wall clock; 0 disables the dwell entirely (pure CPU benchmark).
+    // The scale is shared across backends so their modelled device-time
+    // differences — the quantity a backend sweep compares — survive into
+    // the measured throughput and latency.
+    let gpu_dwell = if opts.dwell_ms > 0.0 {
+        let reference = InferenceSession::with_plan_in(
+            tiles.clone(),
+            &vec![Backend::Dense; num_layers],
+            &registry,
+            &auto,
+        );
+        let dense_batch_s = reference.simulated_batch_seconds(opts.max_batch);
+        Some(GpuDwell { time_scale: opts.dwell_ms * 1e-3 / dense_batch_s })
+    } else {
+        None
+    };
+
+    let mut records: Vec<RunRecord> = Vec::new();
+    for &backend in &opts.backends {
+        let session = Arc::new(InferenceSession::with_plan_in(
+            tiles.clone(),
+            &vec![backend; num_layers],
+            &registry,
+            &auto,
+        ));
+        eprintln!(
+            "# backend {}: plan [{}] | {:.1}% achieved sparsity | {} resident weight bytes | batching win {:.2}x over 4 streams",
+            backend,
+            session.plan_summary(),
+            session.sparsity() * 100.0,
+            session.resident_bytes(),
+            session.batching_speedup(opts.max_batch, 4),
+        );
+
+        let mut generator = RequestGenerator::new(session.input_dim(), 1.0, opts.seed);
+        let mut throughputs: Vec<(usize, f64)> = Vec::new();
+        for &workers in &opts.workers {
+            let config = ServeConfig {
+                max_batch_size: opts.max_batch,
+                max_batch_wait: std::time::Duration::from_secs_f64(opts.wait_ms * 1e-3),
+                workers,
+                queue_capacity: (opts.max_batch * workers * 4).max(64),
+                gpu_dwell,
+            };
+            let payloads = generator.payloads(opts.requests);
+            let (report, _) = serve_closed_loop(Arc::clone(&session), config, payloads);
+            assert_eq!(
+                report.completed, opts.requests,
+                "lost requests at {workers} workers ({backend})"
+            );
+            csv_row(&[
+                backend.to_string(),
+                // '+'-joined so the plan stays one CSV field.
+                session.layer_backends().join("+"),
+                workers.to_string(),
+                report.completed.to_string(),
+                fmt(report.throughput_rps()),
+                fmt(report.latency.p50_s * 1e3),
+                fmt(report.latency.p95_s * 1e3),
+                fmt(report.latency.p99_s * 1e3),
+                fmt(report.mean_batch_size()),
+                fmt(report.sim_gpu_s),
+            ]);
+            throughputs.push((workers, report.throughput_rps()));
+            records.push(RunRecord { backend, plan: report.backend_plan.clone(), workers, report });
+        }
+
+        // Scaling verdict over the sorted worker counts actually measured.
+        let mut sorted = throughputs.clone();
+        sorted.sort_by_key(|&(w, _)| w);
+        let monotonic = sorted.windows(2).all(|pair| pair[1].1 > pair[0].1);
+        let span = sorted.last().copied().zip(sorted.first().copied());
+        if let Some(((w_hi, t_hi), (w_lo, t_lo))) = span {
+            eprintln!(
+                "# scaling ({}): {:.1} req/s @ {} worker(s) -> {:.1} req/s @ {} worker(s) ({:.2}x), monotonic: {}",
+                backend,
+                t_lo,
+                w_lo,
+                t_hi,
+                w_hi,
+                t_hi / t_lo,
+                if monotonic { "yes" } else { "NO" },
+            );
+        }
     }
 
-    // Scaling verdict over the sorted worker counts actually measured.
-    let mut sorted = throughputs.clone();
-    sorted.sort_by_key(|&(w, _)| w);
-    let monotonic = sorted.windows(2).all(|pair| pair[1].1 > pair[0].1);
-    let span = sorted.last().map(|&(w, t)| (w, t)).zip(sorted.first().map(|&(w, t)| (w, t)));
-    if let Some(((w_hi, t_hi), (w_lo, t_lo))) = span {
-        eprintln!(
-            "# scaling: {:.1} req/s @ {} worker(s) -> {:.1} req/s @ {} worker(s) ({:.2}x), monotonic: {}",
-            t_lo,
-            w_lo,
-            t_hi,
-            w_hi,
-            t_hi / t_lo,
-            if monotonic { "yes" } else { "NO" },
-        );
+    if let Some(path) = &opts.json_path {
+        let doc = json::object(&[
+            ("benchmark", json::string("serving")),
+            ("requests", opts.requests.to_string()),
+            ("dims", json::array(opts.dims.iter().map(|d| d.to_string()))),
+            ("target_sparsity", json::number(opts.sparsity)),
+            ("granularity", opts.granularity.to_string()),
+            ("max_batch", opts.max_batch.to_string()),
+            ("wait_ms", json::number(opts.wait_ms)),
+            ("dwell_ms", json::number(opts.dwell_ms)),
+            ("seed", opts.seed.to_string()),
+            ("runs", json::array(records.iter().map(RunRecord::to_json))),
+        ]);
+        std::fs::write(path, doc + "\n")
+            .unwrap_or_else(|e| fail(format!("cannot write {path:?}: {e}")));
+        eprintln!("# wrote {} run record(s) to {path}", records.len());
     }
 }

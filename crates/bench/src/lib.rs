@@ -27,6 +27,52 @@ pub fn csv_row(fields: &[String]) {
     println!("{}", fields.join(","));
 }
 
+/// Minimal JSON emission (the workspace builds offline, so no serde): just
+/// enough structure for machine-readable benchmark artifacts like
+/// `BENCH_serving.json`.  Values are pre-rendered strings; the helpers only
+/// handle quoting, escaping and composition.
+pub mod json {
+    /// A quoted, escaped JSON string literal.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// A JSON number; non-finite values (which JSON cannot represent)
+    /// become `null`.
+    pub fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// `[a,b,c]` from pre-rendered values.
+    pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+        format!("[{}]", items.into_iter().collect::<Vec<_>>().join(","))
+    }
+
+    /// `{"k":v,...}` from pre-rendered values (keys are escaped here).
+    pub fn object(fields: &[(&str, String)]) -> String {
+        let body: Vec<String> = fields.iter().map(|(k, v)| format!("{}:{v}", string(k))).collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,5 +82,18 @@ mod tests {
         assert_eq!(fmt(0.123456), "0.1235");
         assert_eq!(fmt(1234.5678), "1234.57");
         assert_eq!(fmt(-0.5), "-0.5000");
+    }
+
+    #[test]
+    fn json_composition_and_escaping() {
+        assert_eq!(json::string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json::number(1.5), "1.5");
+        assert_eq!(json::number(f64::NAN), "null");
+        let obj = json::object(&[
+            ("name", json::string("tw")),
+            ("workers", "2".to_string()),
+            ("plan", json::array(["tile-wise", "csr"].map(json::string))),
+        ]);
+        assert_eq!(obj, r#"{"name":"tw","workers":2,"plan":["tile-wise","csr"]}"#);
     }
 }

@@ -19,11 +19,17 @@
 //!   planner; this is what every figure reproduction drives.
 //! * [`figures`] — one generator per figure of the paper's evaluation
 //!   section, returning plain data that the `tw-bench` binaries print.
+//! * [`backend`] — the open kernel-backend layer: the [`KernelBackend`]
+//!   trait (batched forward, cost-model pricing, resident bytes), the four
+//!   built-in families (dense / tile-wise / CSR / BSR), the
+//!   [`KernelRegistry`] new families plug into, and the [`AutoPlanner`]
+//!   that picks the cost-model-cheapest family per layer.
 //! * [`session`] — [`InferenceSession`], the executable forward pass the
 //!   `tw-serve` runtime drives: batched CPU inference over the pruned
-//!   weights (tile-wise / CSR / dense backends) plus GPU-simulated batch
-//!   pricing through the planner.
+//!   weights with a (possibly heterogeneous) kernel backend per layer,
+//!   plus GPU-simulated batch pricing through the planner.
 
+pub mod backend;
 pub mod evaluate;
 pub mod figures;
 pub mod planner;
@@ -32,10 +38,11 @@ pub mod session;
 pub mod tew_matrix;
 pub mod tile_matrix;
 
+pub use backend::{AutoPlanner, Backend, BackendParseError, KernelBackend, KernelRegistry};
 pub use evaluate::{ModelEvaluation, SparseModelReport};
 pub use planner::{ExecutionConfig, ExecutionPlanner, TransposeStrategy};
 pub use pruner::{PrunedModel, TileWisePruner, TileWisePrunerConfig};
-pub use session::{Backend, InferenceSession};
+pub use session::InferenceSession;
 pub use tew_matrix::TewMatrix;
 pub use tile_matrix::TileWiseMatrix;
 

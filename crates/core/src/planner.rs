@@ -229,6 +229,29 @@ impl ExecutionPlanner {
         run
     }
 
+    /// Prices one isolated weight GEMM of shape `(m, k) x (k, n)` executed
+    /// with `exec` — the quantity the per-layer [`crate::AutoPlanner`]
+    /// compares across kernel families.  Boundary transposes are charged to
+    /// tile-wise layers exactly as [`Self::plan_model`] would charge them,
+    /// so the comparison stays conservative about TW's layout overhead.
+    pub fn plan_layer(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        exec: &WeightExecution,
+        cfg: &ExecutionConfig,
+    ) -> RunCounters {
+        let workload = Workload {
+            kind: tw_models::ModelKind::Mlp,
+            name: format!("layer ({m}x{k}x{n})"),
+            prunable: vec![tw_models::PrunableGemm { name: "layer".to_string(), m, k, n }],
+            fixed_gemms: Vec::new(),
+            aux_ops: Vec::new(),
+        };
+        self.plan_model(&workload, std::slice::from_ref(exec), cfg)
+    }
+
     /// Total time spent in GEMM-like kernels (dense GEMM, SpMM, BSR, TW) of
     /// a planned run — the "GEMM" bar of Fig. 15.
     pub fn gemm_time(run: &RunCounters) -> f64 {

@@ -1,85 +1,109 @@
 //! Inference sessions: the executable forward pass a serving runtime drives.
 //!
-//! A [`InferenceSession`] packages a chain of pruned weight matrices into a
-//! ready-to-serve model: it validates that the layer shapes compose, keeps
-//! every execution form a worker might use (compacted tile-wise, CSR and
-//! masked dense), runs real batched CPU inference, and prices the same
-//! batch on the `tw-gpu-sim` cost model so a serving tier can overlap
-//! simulated device time with CPU execution.
+//! An [`InferenceSession`] packages a chain of pruned weight matrices into a
+//! ready-to-serve model: it validates that the layer shapes compose, binds
+//! every layer to a [`KernelBackend`] built from the [`KernelRegistry`]
+//! (heterogeneous per-layer plans are first-class: layer 0 can run
+//! tile-wise while layer 1 runs CSR and layer 2 dense), runs real batched
+//! CPU inference, and prices the same batch on the `tw-gpu-sim` cost model
+//! so a serving tier can overlap simulated device time with CPU execution.
+//!
+//! Backend selection is either explicit (a [`Backend`] per layer) or
+//! delegated to the [`AutoPlanner`], which prices every registered kernel
+//! family per layer and picks the cheapest.
 //!
 //! All backends are functionally equivalent: batching requests as rows of
 //! one activation matrix commutes with the per-layer `matmul + ReLU`
 //! pipeline, so a batched sparse forward pass reproduces per-request dense
 //! results within kernel tolerance — the property `tests/` pins down.
 
+use crate::backend::{AutoPlanner, Backend, KernelBackend, KernelRegistry};
 use crate::planner::{ExecutionConfig, ExecutionPlanner, WeightExecution};
 use crate::pruner::PrunedModel;
 use crate::tile_matrix::TileWiseMatrix;
 use tw_gpu_sim::{CoreKind, RunCounters, StreamSim};
 use tw_models::{ModelKind, PrunableGemm, Workload};
-use tw_sparse::{spmm, CsrMatrix};
-use tw_tensor::{gemm, Matrix};
+use tw_tensor::Matrix;
 
-/// Which kernel family executes the pruned weights.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Backend {
-    /// Masked dense GEMM (the unpruned/cuBLAS baseline semantics).
-    Dense,
-    /// The paper's compacted tile-wise kernels.
-    TileWise,
-    /// cuSparse-style CSR SpMM baseline.
-    Csr,
-}
-
-impl Backend {
-    /// Human-readable kernel family name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Backend::Dense => "dense",
-            Backend::TileWise => "tile-wise",
-            Backend::Csr => "csr",
-        }
-    }
-}
-
-/// The backend-specific executable form of one layer.  Only the selected
-/// backend's representation is materialized: a session is long-lived and
-/// shared by every serving worker, so holding all three forms would triple
-/// resident model memory for nothing.
-#[derive(Clone, Debug)]
-enum LayerExec {
-    /// Masked dense weights.
-    Dense(Matrix),
-    /// Executed straight from the tile-wise representation.
-    TileWise,
-    /// CSR copy of the masked weights.
-    Csr(CsrMatrix),
-}
-
-/// One layer: the tile-wise source of truth plus its execution form.
-#[derive(Clone, Debug)]
+/// One layer: the kernel executing it plus the shape/sparsity metadata the
+/// planner and the admission checks need.  The pruned tile itself is *not*
+/// retained: after construction the kernel's executable form is the only
+/// resident copy of the weights (a session is long-lived and shared by
+/// every serving worker, so holding the source tile alongside e.g. a dense
+/// copy would double model memory for nothing).
+#[derive(Debug)]
 struct SessionLayer {
-    tile: TileWiseMatrix,
-    exec: LayerExec,
+    k: usize,
+    n: usize,
+    kept_elements: usize,
+    kernel: Box<dyn KernelBackend>,
 }
 
 /// An executable pruned model plus the planner that prices its batches.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct InferenceSession {
     layers: Vec<SessionLayer>,
-    backend: Backend,
     planner: ExecutionPlanner,
     exec_config: ExecutionConfig,
 }
 
 impl InferenceSession {
-    /// Builds a session from executable tile-wise weights.
+    /// Builds a session executing every layer with the same backend
+    /// selection (`Backend::Auto` still plans each layer individually).
     ///
     /// # Panics
     /// Panics if the chain is empty or consecutive layer shapes do not
     /// compose (`layer[i].n() != layer[i + 1].k()`).
     pub fn new(tile_matrices: Vec<TileWiseMatrix>, backend: Backend) -> Self {
+        let plan = vec![backend; tile_matrices.len()];
+        Self::with_plan(tile_matrices, &plan)
+    }
+
+    /// Builds a session with an explicit per-layer backend plan; `Auto`
+    /// entries are resolved by the default [`AutoPlanner`] over the
+    /// standard registry.
+    ///
+    /// # Panics
+    /// Panics on an empty or non-composing chain, or if `plan.len()`
+    /// differs from the number of layers.
+    pub fn with_plan(tile_matrices: Vec<TileWiseMatrix>, plan: &[Backend]) -> Self {
+        Self::with_plan_in(
+            tile_matrices,
+            plan,
+            &KernelRegistry::standard(),
+            &AutoPlanner::default(),
+        )
+    }
+
+    /// [`Self::with_plan`] against a caller-supplied registry and
+    /// auto-planner — the hook for custom kernel families and custom cost
+    /// models.
+    pub fn with_plan_in(
+        tile_matrices: Vec<TileWiseMatrix>,
+        plan: &[Backend],
+        registry: &KernelRegistry,
+        auto: &AutoPlanner,
+    ) -> Self {
+        let names: Vec<&str> = plan.iter().map(Backend::as_str).collect();
+        Self::with_named_plan(tile_matrices, &names, registry, auto)
+    }
+
+    /// The most general constructor: one registered kernel-family name per
+    /// layer (`"auto"` delegates that layer to the auto-planner).  Names
+    /// outside [`Backend`]'s vocabulary work as long as they are registered,
+    /// which is how downstream kernel families plug in.
+    ///
+    /// # Panics
+    /// Panics on an empty or non-composing chain, a plan length mismatch,
+    /// or an unregistered family name.
+    pub fn with_named_plan(
+        tile_matrices: Vec<TileWiseMatrix>,
+        plan: &[&str],
+        registry: &KernelRegistry,
+        auto: &AutoPlanner,
+    ) -> Self {
         assert!(!tile_matrices.is_empty(), "a session needs at least one layer");
+        assert_eq!(plan.len(), tile_matrices.len(), "one backend selection per layer");
         for (i, pair) in tile_matrices.windows(2).enumerate() {
             assert_eq!(
                 pair[0].n(),
@@ -91,18 +115,28 @@ impl InferenceSession {
         }
         let layers = tile_matrices
             .into_iter()
-            .map(|tile| {
-                let exec = match backend {
-                    Backend::Dense => LayerExec::Dense(tile.to_dense()),
-                    Backend::TileWise => LayerExec::TileWise,
-                    Backend::Csr => LayerExec::Csr(CsrMatrix::from_dense(&tile.to_dense())),
+            .zip(plan)
+            .map(|(tile, &name)| {
+                let kernel = if name == Backend::Auto.as_str() {
+                    auto.choose(registry, &tile)
+                } else {
+                    registry.build(name, &tile).unwrap_or_else(|| {
+                        panic!(
+                            "backend {name:?} is not registered (available: {})",
+                            registry.names().join(", ")
+                        )
+                    })
                 };
-                SessionLayer { tile, exec }
+                SessionLayer {
+                    k: tile.k(),
+                    n: tile.n(),
+                    kept_elements: tile.kept_elements(),
+                    kernel,
+                }
             })
             .collect();
         Self {
             layers,
-            backend,
             planner: ExecutionPlanner::v100(),
             exec_config: ExecutionConfig::optimized(CoreKind::TensorCore),
         }
@@ -114,21 +148,19 @@ impl InferenceSession {
         Self::new(pruned.tile_matrices.clone(), backend)
     }
 
-    /// A self-contained session over a freshly pruned chain of random
-    /// square-ish layers — the synthetic model the serving benchmarks and
-    /// examples drive.  `dims` lists the activation dimensions, so `dims =
-    /// [64, 96, 32]` builds two weight matrices (64x96 and 96x32).
-    pub fn synthetic_chain(
+    /// Freshly pruned random square-ish layers — the synthetic chain the
+    /// serving benchmarks, examples and tests drive.  `dims` lists the
+    /// activation dimensions, so `dims = [64, 96, 32]` builds two weight
+    /// matrices (64x96 and 96x32).
+    pub fn synthetic_tiles(
         dims: &[usize],
         sparsity: f64,
         granularity: usize,
         seed: u64,
-        backend: Backend,
-    ) -> Self {
+    ) -> Vec<TileWiseMatrix> {
         assert!(dims.len() >= 2, "need at least input and output dims");
         use tw_pruning::{tw, ImportanceScores, SparsityTarget, TileWiseConfig};
-        let tiles = dims
-            .windows(2)
+        dims.windows(2)
             .enumerate()
             .map(|(i, pair)| {
                 let weights = Matrix::random_normal(pair[0], pair[1], 1.0, seed + i as u64);
@@ -140,13 +172,34 @@ impl InferenceSession {
                 );
                 TileWiseMatrix::from_mask(&weights, &mask)
             })
-            .collect();
-        Self::new(tiles, backend)
+            .collect()
     }
 
-    /// The kernel family this session serves with.
-    pub fn backend(&self) -> Backend {
-        self.backend
+    /// A self-contained session over [`Self::synthetic_tiles`].
+    pub fn synthetic_chain(
+        dims: &[usize],
+        sparsity: f64,
+        granularity: usize,
+        seed: u64,
+        backend: Backend,
+    ) -> Self {
+        Self::new(Self::synthetic_tiles(dims, sparsity, granularity, seed), backend)
+    }
+
+    /// The resolved kernel family of every layer, in layer order.  `Auto`
+    /// selections appear as the family the planner actually picked.
+    pub fn layer_backends(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.kernel.name()).collect()
+    }
+
+    /// Compact `a,b,c` rendering of [`Self::layer_backends`] for reports.
+    pub fn plan_summary(&self) -> String {
+        self.layer_backends().join(",")
+    }
+
+    /// Bytes of executable weight forms resident per serving replica.
+    pub fn resident_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.kernel.resident_bytes()).sum()
     }
 
     /// Number of weight layers.
@@ -156,18 +209,18 @@ impl InferenceSession {
 
     /// Expected per-request input length.
     pub fn input_dim(&self) -> usize {
-        self.layers[0].tile.k()
+        self.layers[0].k
     }
 
     /// Per-request output length.
     pub fn output_dim(&self) -> usize {
-        self.layers[self.layers.len() - 1].tile.n()
+        self.layers[self.layers.len() - 1].n
     }
 
     /// Overall element sparsity across the chain.
     pub fn sparsity(&self) -> f64 {
-        let total: usize = self.layers.iter().map(|l| l.tile.k() * l.tile.n()).sum();
-        let kept: usize = self.layers.iter().map(|l| l.tile.kept_elements()).sum();
+        let total: usize = self.layers.iter().map(|l| l.k * l.n).sum();
+        let kept: usize = self.layers.iter().map(|l| l.kept_elements).sum();
         if total == 0 {
             return 0.0;
         }
@@ -189,11 +242,7 @@ impl InferenceSession {
         let last = self.layers.len() - 1;
         let mut x = inputs.clone();
         for (i, layer) in self.layers.iter().enumerate() {
-            x = match &layer.exec {
-                LayerExec::Dense(dense) => gemm(&x, dense),
-                LayerExec::TileWise => layer.tile.matmul(&x),
-                LayerExec::Csr(csr) => spmm::dense_csr_matmul(&x, csr),
-            };
+            x = layer.kernel.forward_batch(&x);
             if i != last {
                 relu_in_place(&mut x);
             }
@@ -217,8 +266,8 @@ impl InferenceSession {
             .map(|(i, layer)| PrunableGemm {
                 name: format!("serve.layer{i}"),
                 m: batch_size,
-                k: layer.tile.k(),
-                n: layer.tile.n(),
+                k: layer.k,
+                n: layer.n,
             })
             .collect();
         Workload {
@@ -231,18 +280,11 @@ impl InferenceSession {
     }
 
     /// Prices one batch on the GPU cost model, with the per-layer execution
-    /// form matching this session's backend.
+    /// form reported by each layer's kernel.
     pub fn plan_batch(&self, batch_size: usize) -> RunCounters {
         let workload = self.workload_for_batch(batch_size);
-        let execs: Vec<WeightExecution> = self
-            .layers
-            .iter()
-            .map(|layer| match self.backend {
-                Backend::Dense => WeightExecution::Dense,
-                Backend::TileWise => WeightExecution::TileWise { tiles: layer.tile.tile_shapes() },
-                Backend::Csr => WeightExecution::Csr { sparsity: layer.tile.sparsity() },
-            })
-            .collect();
+        let execs: Vec<WeightExecution> =
+            self.layers.iter().map(|layer| layer.kernel.execution()).collect();
         self.planner.plan_model(&workload, &execs, &self.exec_config)
     }
 
@@ -287,6 +329,11 @@ mod tests {
         InferenceSession::synthetic_chain(&[48, 64, 32], 0.6, 16, 42, backend)
     }
 
+    fn plan_session(plan: &[Backend]) -> InferenceSession {
+        let tiles = InferenceSession::synthetic_tiles(&[48, 64, 32], 0.6, 16, 42);
+        InferenceSession::with_plan(tiles, plan)
+    }
+
     #[test]
     fn dims_and_sparsity_are_consistent() {
         let s = session(Backend::TileWise);
@@ -294,17 +341,50 @@ mod tests {
         assert_eq!(s.input_dim(), 48);
         assert_eq!(s.output_dim(), 32);
         assert!((s.sparsity() - 0.6).abs() < 0.05, "sparsity {}", s.sparsity());
+        assert_eq!(s.layer_backends(), vec!["tile-wise", "tile-wise"]);
+        assert_eq!(s.plan_summary(), "tile-wise,tile-wise");
+        assert!(s.resident_bytes() > 0);
     }
 
     #[test]
     fn backends_agree_on_batched_inference() {
         let dense = session(Backend::Dense);
-        let tile = session(Backend::TileWise);
-        let csr = session(Backend::Csr);
         let inputs = Matrix::random_uniform(9, 48, 1.0, 7);
         let reference = dense.forward_batch(&inputs);
-        assert!(tile.forward_batch(&inputs).approx_eq(&reference, DEFAULT_TOL));
-        assert!(csr.forward_batch(&inputs).approx_eq(&reference, DEFAULT_TOL));
+        for backend in [Backend::TileWise, Backend::Csr, Backend::Bsr, Backend::Auto] {
+            let s = session(backend);
+            assert!(
+                s.forward_batch(&inputs).approx_eq(&reference, DEFAULT_TOL),
+                "{backend} disagrees with dense"
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_plans_match_dense_reference() {
+        let dense = session(Backend::Dense);
+        let inputs = Matrix::random_uniform(6, 48, 1.0, 13);
+        let reference = dense.forward_batch(&inputs);
+        let mixed = plan_session(&[Backend::Csr, Backend::Bsr]);
+        assert_eq!(mixed.layer_backends(), vec!["csr", "bsr"]);
+        assert!(mixed.forward_batch(&inputs).approx_eq(&reference, DEFAULT_TOL));
+        let with_auto = plan_session(&[Backend::Auto, Backend::Dense]);
+        assert_eq!(with_auto.layer_backends()[1], "dense");
+        assert_ne!(with_auto.layer_backends()[0], "auto", "auto must resolve to a family");
+        assert!(with_auto.forward_batch(&inputs).approx_eq(&reference, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn auto_sessions_report_resolved_families() {
+        let s = session(Backend::Auto);
+        for name in s.layer_backends() {
+            assert_ne!(name, "auto");
+        }
+        // The auto plan prices each batch no worse than the all-dense plan.
+        let dense = session(Backend::Dense);
+        let auto_t = s.simulated_batch_seconds(8);
+        let dense_t = dense.simulated_batch_seconds(8);
+        assert!(auto_t <= dense_t * 1.05, "auto {auto_t} vs dense {dense_t}");
     }
 
     #[test]
@@ -356,6 +436,15 @@ mod tests {
     }
 
     #[test]
+    fn plan_batch_prices_heterogeneous_kernels() {
+        let s = plan_session(&[Backend::Bsr, Backend::Csr]);
+        let run = s.plan_batch(8);
+        let names: Vec<&str> = run.kernels().iter().map(|k| k.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.contains("bsr")), "missing bsr kernel in {names:?}");
+        assert!(names.iter().any(|n| n.contains("csr")), "missing csr kernel in {names:?}");
+    }
+
+    #[test]
     fn batching_beats_streamed_singles() {
         // Fusing 16 requests into one batched kernel sequence must beat 16
         // independent single-request passes, even when the singles overlap
@@ -380,11 +469,27 @@ mod tests {
     #[test]
     #[should_panic(expected = "must feed")]
     fn mismatched_chain_rejected() {
-        let a = InferenceSession::synthetic_chain(&[16, 24], 0.5, 8, 1, Backend::Dense);
-        let b = InferenceSession::synthetic_chain(&[32, 16], 0.5, 8, 2, Backend::Dense);
-        let _ = InferenceSession::new(
-            vec![a.layers[0].tile.clone(), b.layers[0].tile.clone()],
-            Backend::Dense,
+        let a = InferenceSession::synthetic_tiles(&[16, 24], 0.5, 8, 1);
+        let b = InferenceSession::synthetic_tiles(&[32, 16], 0.5, 8, 2);
+        let _ = InferenceSession::new(vec![a[0].clone(), b[0].clone()], Backend::Dense);
+    }
+
+    #[test]
+    #[should_panic(expected = "one backend selection per layer")]
+    fn plan_length_mismatch_rejected() {
+        let tiles = InferenceSession::synthetic_tiles(&[16, 24, 8], 0.5, 8, 3);
+        let _ = InferenceSession::with_plan(tiles, &[Backend::Dense]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not registered")]
+    fn unregistered_backend_rejected() {
+        let tiles = InferenceSession::synthetic_tiles(&[16, 24], 0.5, 8, 4);
+        let _ = InferenceSession::with_named_plan(
+            tiles,
+            &["warp-speed"],
+            &KernelRegistry::standard(),
+            &AutoPlanner::default(),
         );
     }
 

@@ -20,11 +20,14 @@
 //!   `max_batch_size`, waiting at most `max_batch_wait` after the batch
 //!   head arrives: the standard latency/throughput compromise.
 //! * [`pool::WorkerPool`] — N threads, each executing whole batches on a
-//!   shared [`tilewise::InferenceSession`] (compacted tile-wise weights,
-//!   CSR or masked dense), then dwelling for the batch's simulated device
+//!   shared [`tilewise::InferenceSession`] whose layers each run their own
+//!   [`tilewise::KernelBackend`] (dense, tile-wise, CSR, BSR, or any
+//!   registered custom family — possibly a different one per layer, as the
+//!   auto-planner picks), then dwelling for the batch's simulated device
 //!   time so pool-level overlap behaves like a real accelerator-backed tier.
 //! * [`stats::ServeReport`] — per-request latency percentiles (p50/p95/p99),
-//!   throughput, batch-size and per-worker counters.
+//!   throughput, batch-size and per-worker counters, plus the per-layer
+//!   backend plan the session actually served with.
 //!
 //! The [`Server`] ties these together; [`serve_closed_loop`] is the
 //! one-call harness the benchmarks and examples use.
@@ -146,7 +149,10 @@ impl Server {
         let responses: Vec<InferenceResponse> = receiver.iter().collect();
         let mut latencies = self.drained_latencies.into_inner().expect("latency log poisoned");
         latencies.extend(responses.iter().map(|r| r.latency.as_secs_f64()));
-        let report = ServeReport::from_latencies(latencies, self.started.elapsed(), worker_stats);
+        let backend_plan =
+            self.session.layer_backends().iter().map(|name| name.to_string()).collect();
+        let report = ServeReport::from_latencies(latencies, self.started.elapsed(), worker_stats)
+            .with_backend_plan(backend_plan);
         (report, responses)
     }
 }
@@ -216,6 +222,7 @@ mod tests {
         assert!(report.throughput_rps() > 0.0);
         assert!(report.mean_batch_size() >= 1.0);
         assert_eq!(report.workers.len(), 2);
+        assert_eq!(report.backend_plan, vec!["tile-wise", "tile-wise"]);
     }
 
     #[test]

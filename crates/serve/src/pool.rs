@@ -1,12 +1,13 @@
 //! The worker pool: threads that turn batches into responses.
 //!
 //! Each worker loops on the shared [`DynamicBatcher`], fuses the batch's
-//! payloads into one activation matrix, runs the session's batched sparse
-//! forward pass on the CPU, then — when configured — dwells for the batch's
-//! simulated device time from the GPU cost model, exactly as a real worker
-//! blocks on an accelerator.  The dwell is why a pool helps even on a small
-//! host: while one worker waits on the "device", another batches and
-//! launches.
+//! payloads into one activation matrix (via `tw_tensor::batch`), runs the
+//! session's batched forward pass on the CPU — each layer through whatever
+//! [`tilewise::KernelBackend`] its plan bound, heterogeneous plans included
+//! — then, when configured, dwells for the batch's simulated device time
+//! from the GPU cost model, exactly as a real worker blocks on an
+//! accelerator.  The dwell is why a pool helps even on a small host: while
+//! one worker waits on the "device", another batches and launches.
 
 use crate::batcher::DynamicBatcher;
 use crate::config::ServeConfig;
@@ -18,7 +19,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tilewise::InferenceSession;
-use tw_tensor::Matrix;
+use tw_tensor::batch::stack_rows;
 
 /// Handle over the pool's threads; joined at shutdown.
 pub struct WorkerPool {
@@ -82,7 +83,7 @@ fn run_worker(
     while let Some(batch) = batcher.next_batch() {
         let cpu_start = Instant::now();
         let rows: Vec<&[f32]> = batch.iter().map(|r| r.payload.as_slice()).collect();
-        let inputs = Matrix::from_rows(&rows);
+        let inputs = stack_rows(&rows);
         let outputs = session.forward_batch(&inputs);
         stats.cpu_busy += cpu_start.elapsed();
 

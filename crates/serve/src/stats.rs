@@ -82,6 +82,9 @@ pub struct ServeReport {
     pub workers: Vec<WorkerStats>,
     /// Total simulated device seconds across all batches.
     pub sim_gpu_s: f64,
+    /// Resolved kernel family of each served layer, in layer order (empty
+    /// when the report was built without a session, e.g. in unit tests).
+    pub backend_plan: Vec<String>,
 }
 
 impl ServeReport {
@@ -108,7 +111,14 @@ impl ServeReport {
             batches,
             workers,
             sim_gpu_s,
+            backend_plan: Vec::new(),
         }
+    }
+
+    /// Attaches the served model's per-layer backend plan to the report.
+    pub fn with_backend_plan(mut self, backend_plan: Vec<String>) -> Self {
+        self.backend_plan = backend_plan;
+        self
     }
 
     /// Completed requests per wall-clock second.
@@ -130,8 +140,13 @@ impl ServeReport {
 
     /// One human-readable summary line per run.
     pub fn summary(&self) -> String {
+        let plan = if self.backend_plan.is_empty() {
+            String::new()
+        } else {
+            format!(" | plan [{}]", self.backend_plan.join(","))
+        };
         format!(
-            "{} requests in {:.3}s | {:.1} req/s | batch x̄ {:.2} | latency p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | sim-GPU {:.3}s",
+            "{} requests in {:.3}s | {:.1} req/s | batch x̄ {:.2} | latency p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | sim-GPU {:.3}s{plan}",
             self.completed,
             self.wall.as_secs_f64(),
             self.throughput_rps(),
@@ -201,8 +216,10 @@ mod tests {
                 sim_gpu_s: 0.25,
             },
         ];
-        let report = ServeReport::new(&responses, Duration::from_secs(2), workers);
+        let report = ServeReport::new(&responses, Duration::from_secs(2), workers)
+            .with_backend_plan(vec!["tile-wise".into(), "csr".into()]);
         assert_eq!(report.completed, 10);
+        assert!(report.summary().contains("plan [tile-wise,csr]"));
         assert_eq!(report.batches, 2);
         assert!((report.throughput_rps() - 5.0).abs() < 1e-12);
         assert!((report.mean_batch_size() - 5.0).abs() < 1e-12);

@@ -141,6 +141,49 @@ pub fn dense_bsr_matmul(a: &Matrix, b: &BsrMatrix) -> Matrix {
     c
 }
 
+/// Rayon-parallel dense x BSR, splitting the output by activation rows.
+/// This is the kernel the BSR serving backend runs: a fused batch lives on
+/// the rows of `a`, so row-parallelism is batch-parallelism.
+pub fn dense_bsr_matmul_par(a: &Matrix, b: &BsrMatrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    let m = a.rows();
+    let n = b.cols();
+    let bs = b.block_size();
+    let mut out = vec![0.0f32; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
+        for (br, bc, payload) in b.iter_blocks() {
+            let k0 = br * bs;
+            let n0 = bc * bs;
+            for jj in 0..bs {
+                let j = n0 + jj;
+                if j >= n {
+                    continue;
+                }
+                let mut acc = 0.0;
+                for kk in 0..bs {
+                    let k = k0 + kk;
+                    if k >= a.cols() {
+                        continue;
+                    }
+                    acc += a.get(i, k) * payload[kk * bs + jj];
+                }
+                c_row[j] += acc;
+            }
+        }
+    });
+    Matrix::from_vec(m, n, out)
+}
+
+/// Library-level batched BSR entry point: many per-request activation
+/// matrices against one shared block-sparse weight, `C_i = A_i * B`,
+/// parallel over batch items — the BlockSparse-baseline mirror of
+/// [`dense_csr_matmul_batch`], for callers that keep requests as separate
+/// matrices.  (The serving session instead fuses a batch into one
+/// activation matrix and runs [`dense_bsr_matmul_par`] once.)
+pub fn dense_bsr_matmul_batch(activations: &[&Matrix], b: &BsrMatrix) -> Vec<Matrix> {
+    activations.par_iter().map(|a| dense_bsr_matmul(a, b)).collect()
+}
+
 /// Sparse-times-sparse sanity kernel (CSR x CSR), used only in tests and
 /// analysis; returns a dense result.
 pub fn csr_csr_matmul(a: &CsrMatrix, b: &CsrMatrix) -> Matrix {
@@ -211,6 +254,18 @@ mod tests {
                 "block size {bs}"
             );
         }
+    }
+
+    #[test]
+    fn batched_dense_bsr_matches_individual() {
+        let b_dense = random_sparse(12, 10, 0.35, 21);
+        let b = BsrMatrix::from_dense(&b_dense, 4);
+        let a1 = Matrix::random_uniform(3, 12, 1.0, 22);
+        let a2 = Matrix::random_uniform(7, 12, 1.0, 23);
+        let outs = dense_bsr_matmul_batch(&[&a1, &a2], &b);
+        assert_eq!(outs.len(), 2);
+        assert!(outs[0].approx_eq(&gemm(&a1, &b_dense), DEFAULT_TOL));
+        assert!(outs[1].approx_eq(&gemm(&a2, &b_dense), DEFAULT_TOL));
     }
 
     #[test]
@@ -295,6 +350,7 @@ mod proptests {
             prop_assert!(dense_csr_matmul_par(&case.a, &csr).approx_eq(&reference, DEFAULT_TOL));
             prop_assert!(dense_csc_matmul(&case.a, &csc).approx_eq(&reference, DEFAULT_TOL));
             prop_assert!(dense_bsr_matmul(&case.a, &bsr).approx_eq(&reference, DEFAULT_TOL));
+            prop_assert!(dense_bsr_matmul_par(&case.a, &bsr).approx_eq(&reference, DEFAULT_TOL));
         }
     }
 }

@@ -1,0 +1,77 @@
+//! Batch-stacking helpers.
+//!
+//! A serving batcher turns many independent requests into one activation
+//! matrix (one request per row) before launching a batched kernel, and
+//! splits the kernel's output back into per-request rows afterwards.  These
+//! helpers are that boundary, shared by the `tw-serve` worker pool
+//! ([`stack_rows`]) and the batched-vs-unbatched equivalence tests
+//! ([`stack_payloads`] / [`unstack_rows`]) so every call site agrees on the
+//! stacking convention (and on the error messages for ragged input).
+
+use crate::matrix::Matrix;
+
+/// Stacks per-request payload slices into one `batch x dim` activation
+/// matrix, one request per row.
+///
+/// # Panics
+/// Panics if `rows` is empty or the payloads have differing lengths.
+pub fn stack_rows(rows: &[&[f32]]) -> Matrix {
+    assert!(!rows.is_empty(), "cannot stack an empty batch");
+    let dim = rows[0].len();
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            dim,
+            "ragged batch: row {} has {} values, row 0 has {dim}",
+            i,
+            row.len()
+        );
+    }
+    Matrix::from_rows(rows)
+}
+
+/// [`stack_rows`] over owned payload vectors (the form requests arrive in).
+pub fn stack_payloads(payloads: &[Vec<f32>]) -> Matrix {
+    let rows: Vec<&[f32]> = payloads.iter().map(Vec::as_slice).collect();
+    stack_rows(&rows)
+}
+
+/// Splits a batched output matrix back into one owned vector per request
+/// row — the inverse of [`stack_rows`] after the forward pass.
+pub fn unstack_rows(outputs: &Matrix) -> Vec<Vec<f32>> {
+    (0..outputs.rows()).map(|r| outputs.row(r).to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_then_unstack_round_trips() {
+        let payloads = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let m = stack_payloads(&payloads);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(unstack_rows(&m), payloads);
+    }
+
+    #[test]
+    fn stack_rows_matches_from_rows() {
+        let a = [0.5f32, -1.0];
+        let b = [2.0f32, 3.0];
+        let m = stack_rows(&[&a, &b]);
+        assert_eq!(m, Matrix::from_rows(&[&a, &b]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        let _ = stack_rows(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged batch")]
+    fn ragged_batch_rejected() {
+        let _ = stack_payloads(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

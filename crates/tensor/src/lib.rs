@@ -12,16 +12,20 @@
 //!   through the img2col transformation").
 //! * [`quant`] — software fp16 round-tripping, standing in for tensor-core
 //!   half-precision storage.
+//! * [`batch`] — the stacking convention serving batchers use to fuse
+//!   per-request payloads into one activation matrix and back.
 //!
 //! Everything is deterministic and CPU-only; GPU behaviour is *modelled* by
 //! the `tw-gpu-sim` crate, not executed here.
 
+pub mod batch;
 pub mod gemm;
 pub mod im2col;
 pub mod matrix;
 pub mod quant;
 pub mod view;
 
+pub use batch::{stack_payloads, stack_rows, unstack_rows};
 pub use gemm::{gemm, gemm_blocked, gemm_masked, gemm_par, GemmShape};
 pub use im2col::{im2col, ConvShape};
 pub use matrix::Matrix;

@@ -9,21 +9,27 @@ use std::time::Duration;
 use tile_wise_repro::prelude::*;
 
 fn main() {
-    // 1. An executable pruned model: three layers, 75% tile-wise sparsity.
+    // 1. An executable pruned model: three layers at 75% tile-wise sparsity,
+    //    with `Backend::Auto` letting the cost model pick each layer's
+    //    kernel family (dense / tile-wise / CSR / BSR) individually.
     let session = Arc::new(InferenceSession::synthetic_chain(
         &[256, 256, 128, 32],
         0.75,
         32,
         42,
-        Backend::TileWise,
+        Backend::Auto,
     ));
     println!(
-        "serving a {}-layer chain, input dim {}, output dim {}, {:.1}% sparse ({})",
+        "serving a {}-layer chain, input dim {}, output dim {}, {:.1}% sparse",
         session.num_layers(),
         session.input_dim(),
         session.output_dim(),
         session.sparsity() * 100.0,
-        session.backend().name(),
+    );
+    println!(
+        "auto-planned kernel per layer: [{}] ({} resident weight bytes)",
+        session.plan_summary(),
+        session.resident_bytes(),
     );
 
     // 2. Start the runtime: batches of up to 16 requests, 2 ms wait budget,

@@ -22,8 +22,9 @@ pub use tw_tensor as tensor;
 /// Commonly used types from across the workspace.
 pub mod prelude {
     pub use tilewise::{
-        Backend, ExecutionConfig, InferenceSession, ModelEvaluation, PatternChoice,
-        SparseModelReport, TewMatrix, TileWiseMatrix, TileWisePruner,
+        AutoPlanner, Backend, ExecutionConfig, InferenceSession, KernelBackend, KernelRegistry,
+        ModelEvaluation, PatternChoice, SparseModelReport, TewMatrix, TileWiseMatrix,
+        TileWisePruner,
     };
     pub use tw_gpu_sim::{CoreKind, GpuDevice, KernelCounters};
     pub use tw_models::{ModelKind, RequestGenerator, Workload};

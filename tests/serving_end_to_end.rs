@@ -69,6 +69,40 @@ fn batched_sparse_serving_matches_unbatched_dense_inference() {
     }
     // The run must actually have exercised batching, not 200 singletons.
     assert!(fused > 100, "only {fused}/200 requests were fused into real batches");
+    // The report carries the per-layer kernel plan the session served with.
+    assert_eq!(report.backend_plan, vec!["tile-wise", "tile-wise", "tile-wise"]);
+}
+
+#[test]
+fn bsr_and_auto_backends_serve_dense_results() {
+    // The two newest selections: the executable BlockSparse baseline and the
+    // cost-model auto-planner.  Both must serve exactly what unbatched dense
+    // inference computes, and `auto` must resolve every layer to a concrete
+    // registered family.
+    let dense_session = pruned_session(3, Backend::Dense);
+    let mut generator = RequestGenerator::new(dense_session.input_dim(), 1.0, 17);
+    let payloads = generator.payloads(60);
+    let cfg = ServeConfig::default().with_workers(2).with_batching(8, Duration::from_millis(1));
+    for backend in [Backend::Bsr, Backend::Auto] {
+        let session = pruned_session(3, backend);
+        let (report, responses) =
+            serve_closed_loop(Arc::clone(&session), cfg.clone(), payloads.clone());
+        assert_eq!(report.completed, 60, "{backend} lost requests");
+        assert_eq!(report.backend_plan.len(), session.num_layers());
+        for name in &report.backend_plan {
+            assert_ne!(name, "auto", "auto must resolve to a concrete kernel family");
+        }
+        for response in &responses {
+            let expected = dense_session.forward_one(&payloads[response.id as usize]);
+            for (a, b) in response.output.iter().zip(&expected) {
+                assert!(
+                    tile_wise_repro::tensor::approx_eq(*a, *b, DEFAULT_TOL),
+                    "{backend} request {}: batched {a} vs unbatched dense {b}",
+                    response.id
+                );
+            }
+        }
+    }
 }
 
 #[test]
