@@ -1,0 +1,182 @@
+//! The perf-regression gate: compare a fresh `BENCH_serving.json` against a
+//! committed baseline and fail (exit 1) when throughput drops — or p99
+//! latency rises — by more than the threshold.
+//!
+//! Runs are matched by `(scenario, backend, workers)`.  A baseline run
+//! missing from the current artifact is itself a failure (a silently
+//! dropped benchmark is how regressions hide), while *extra* current runs
+//! are reported and ignored, so the baseline can trail newly added
+//! configurations gracefully.
+//!
+//! ```text
+//! cargo run --release -p tw-bench --bin compare -- \
+//!     --baseline BENCH_serving.baseline.json \
+//!     --current  BENCH_serving.json [--threshold 0.25]
+//! ```
+
+use std::fmt::Display;
+use tw_bench::json::{self, Value};
+
+const USAGE: &str =
+    "usage: compare --baseline PATH --current PATH [--threshold FRACTION (default 0.25)]";
+
+fn fail(msg: impl Display) -> ! {
+    eprintln!("compare: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// The comparable facts of one benchmark run.
+#[derive(Clone, Debug, PartialEq)]
+struct Run {
+    scenario: String,
+    backend: String,
+    workers: u64,
+    throughput_rps: f64,
+    p99_ms: f64,
+}
+
+impl Run {
+    fn key(&self) -> String {
+        format!("{}/{}/{}w", self.scenario, self.backend, self.workers)
+    }
+}
+
+fn load_runs(path: &str) -> Vec<Run> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read {path:?}: {e}")));
+    let doc = json::parse(&text).unwrap_or_else(|e| fail(format!("{path}: invalid JSON: {e}")));
+    let runs = doc
+        .get("runs")
+        .and_then(Value::as_arr)
+        .unwrap_or_else(|| fail(format!("{path}: missing \"runs\" array")));
+    runs.iter()
+        .enumerate()
+        .map(|(i, run)| {
+            let field = |name: &str| {
+                run.get(name).unwrap_or_else(|| fail(format!("{path}: run {i} missing {name:?}")))
+            };
+            let num = |name: &str| {
+                field(name)
+                    .as_f64()
+                    .unwrap_or_else(|| fail(format!("{path}: run {i} field {name:?} not a number")))
+            };
+            Run {
+                // Pre-scenario artifacts lack the field; treat them as the
+                // closed loop they measured.
+                scenario: run
+                    .get("scenario")
+                    .and_then(Value::as_str)
+                    .unwrap_or("closed")
+                    .to_string(),
+                backend: field("backend")
+                    .as_str()
+                    .unwrap_or_else(|| fail(format!("{path}: run {i} backend not a string")))
+                    .to_string(),
+                workers: num("workers") as u64,
+                throughput_rps: num("throughput_rps"),
+                p99_ms: num("p99_ms"),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut threshold = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| fail(format!("missing value for {name}")));
+        match flag.as_str() {
+            "--baseline" => baseline_path = Some(value("--baseline")),
+            "--current" => current_path = Some(value("--current")),
+            "--threshold" => {
+                threshold = value("--threshold")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threshold expects a number"));
+            }
+            other => fail(format!("unknown flag {other:?}")),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| fail("--baseline is required"));
+    let current_path = current_path.unwrap_or_else(|| fail("--current is required"));
+    if !threshold.is_finite() || !(0.0..1.0).contains(&threshold) {
+        fail("--threshold must be a fraction in [0, 1)");
+    }
+
+    let baseline = load_runs(&baseline_path);
+    let current = load_runs(&current_path);
+    if baseline.is_empty() {
+        fail(format!("{baseline_path}: no runs to compare against"));
+    }
+
+    let mut failures = 0usize;
+    for base in &baseline {
+        let key = base.key();
+        let Some(cur) = current.iter().find(|c| c.key() == key) else {
+            eprintln!("FAIL {key}: run present in baseline but missing from current artifact");
+            failures += 1;
+            continue;
+        };
+        // Throughput: lower is worse.
+        let tp_floor = base.throughput_rps * (1.0 - threshold);
+        let tp_change = cur.throughput_rps / base.throughput_rps - 1.0;
+        if cur.throughput_rps < tp_floor {
+            eprintln!(
+                "FAIL {key}: throughput {:.1} req/s vs baseline {:.1} ({:+.1}%, floor {:.1})",
+                cur.throughput_rps,
+                base.throughput_rps,
+                tp_change * 100.0,
+                tp_floor,
+            );
+            failures += 1;
+        } else {
+            eprintln!(
+                "ok   {key}: throughput {:.1} req/s vs baseline {:.1} ({:+.1}%)",
+                cur.throughput_rps,
+                base.throughput_rps,
+                tp_change * 100.0,
+            );
+        }
+        // p99 latency: higher is worse.
+        let p99_ceiling = base.p99_ms * (1.0 + threshold);
+        let p99_change = cur.p99_ms / base.p99_ms - 1.0;
+        if cur.p99_ms > p99_ceiling {
+            eprintln!(
+                "FAIL {key}: p99 {:.2}ms vs baseline {:.2}ms ({:+.1}%, ceiling {:.2}ms)",
+                cur.p99_ms,
+                base.p99_ms,
+                p99_change * 100.0,
+                p99_ceiling,
+            );
+            failures += 1;
+        } else {
+            eprintln!(
+                "ok   {key}: p99 {:.2}ms vs baseline {:.2}ms ({:+.1}%)",
+                cur.p99_ms,
+                base.p99_ms,
+                p99_change * 100.0,
+            );
+        }
+    }
+    for cur in &current {
+        if !baseline.iter().any(|b| b.key() == cur.key()) {
+            eprintln!("note {}: new run not in baseline (not gated)", cur.key());
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "compare: {failures} regression(s) beyond the {:.0}% threshold",
+            threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "compare: all {} baseline run(s) within the {:.0}% threshold",
+        baseline.len(),
+        threshold * 100.0
+    );
+}

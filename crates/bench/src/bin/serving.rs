@@ -1,40 +1,56 @@
-//! The serving benchmark: drive `tw-serve` with a synthetic closed loop and
-//! report throughput and latency percentiles per worker-pool size and
-//! kernel backend.
+//! The serving benchmark: drive `tw-serve` under a chosen traffic scenario
+//! and report throughput, goodput and latency percentiles per worker-pool
+//! size and kernel backend — overall and per request class.
 //!
-//! For every selected backend (default tile-wise; `--backend` accepts a
-//! comma list of `dense|tw|csr|bsr|auto`, and `--sweep-backends` selects all
-//! five) and worker count (default 1, 2, 4) the benchmark builds a pruned
-//! model, binds each layer to its kernel — `auto` lets the per-layer cost
-//! model pick — generates seeded request payloads, pushes them through the
-//! queue → dynamic batcher → worker pool pipeline and prints one CSV row.
-//! Workers execute the real batched sparse CPU kernels and then dwell for
-//! the batch's simulated V100 time (one shared scale, chosen so a full
-//! *dense* batch costs `--dwell-ms` of wall clock — cheaper backends dwell
-//! proportionally less, so modelled device-time differences survive into
-//! the measurements), so throughput scales with pool-level overlap exactly
-//! as an accelerator-backed serving tier does — even on a single-core host.
+//! Scenarios (`--scenario`):
 //!
-//! With `--json PATH` the same numbers are also written as a
-//! machine-readable artifact (one record per backend x worker-count run),
-//! giving the repo a perf trajectory to track across commits:
+//! * `closed` (default) — the legacy closed loop: submit every request
+//!   back-to-back under blocking backpressure; measures peak throughput.
+//!   This is the scenario the CI perf-regression gate pins, because its
+//!   numbers are dwell-dominated and stable across hosts.
+//! * `steady` — open-loop Poisson arrivals at `--rate`, 30% interactive
+//!   (SLO `--slo-ms`) / 70% batch.
+//! * `bursty` — open-loop ON/OFF bursts (3.7x `--rate` inside bursts; the
+//!   phase weights preserve the nominal mean rate), same interactive/batch
+//!   mix.
+//! * `heavy-tail` — open-loop Pareto (alpha 1.5) inter-arrivals: request
+//!   trains separated by rare huge gaps.
+//! * `mixed-priority` — the SLO showcase: steady arrivals with the
+//!   interactive/batch mix *and* admission control shedding requests whose
+//!   deadline is already hopeless (plus any `--shed-depth`/
+//!   `--wait-budget-ms` bounds given).
+//!
+//! For every selected backend (`--backend` takes a comma list of
+//! `dense|tw|csr|bsr|auto`; `--sweep-backends` selects all five) and worker
+//! count the benchmark builds a pruned model, binds kernels, replays the
+//! scenario and prints one CSV row per run plus one per class.  Workers
+//! execute real batched sparse CPU kernels, then dwell for the batch's
+//! simulated V100 time (scaled so a full dense batch costs `--dwell-ms`).
+//!
+//! With `--json PATH` the same numbers are written as a machine-readable
+//! artifact — the input of the `compare` binary's CI regression gate:
 //!
 //! ```text
 //! cargo run --release -p tw-bench --bin serving -- \
-//!     --requests 2000 --batch 8 --wait-ms 2 --workers 1,2,4 \
-//!     --backend tw,auto --json BENCH_serving.json
+//!     --scenario bursty --rate 600 --requests 2000 --backend auto \
+//!     --workers 1,2,4 --json BENCH_serving.json
 //! ```
 
 use std::fmt::Display;
 use std::sync::Arc;
+use std::time::Duration;
 use tilewise::{AutoPlanner, Backend, InferenceSession, KernelRegistry};
 use tw_bench::{csv_header, csv_row, fmt, json};
-use tw_models::RequestGenerator;
-use tw_serve::{serve_closed_loop, GpuDwell, ServeConfig, ServeReport};
+use tw_models::{RequestGenerator, TrafficSpec};
+use tw_serve::{
+    serve_closed_loop, serve_open_loop, AdmissionConfig, GpuDwell, ServeConfig, ServeReport,
+};
 
 const USAGE: &str = "usage: serving [--requests N] [--batch N] [--wait-ms MS] \
 [--workers A,B,..] [--dims D0,D1,..] [--sparsity F] [--granularity N] \
 [--backend dense|tw|csr|bsr|auto[,..]] [--sweep-backends] [--dwell-ms MS] \
+[--scenario closed|steady|bursty|heavy-tail|mixed-priority] [--rate RPS] \
+[--slo-ms MS] [--shed-depth N] [--wait-budget-ms MS] [--shed-hopeless] \
 [--seed N] [--json PATH]";
 
 /// Reports a usage error on stderr and exits non-zero — the benchmark is a
@@ -44,6 +60,40 @@ fn fail(msg: impl Display) -> ! {
     eprintln!("serving: {msg}");
     eprintln!("{USAGE}");
     std::process::exit(2);
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    Closed,
+    Steady,
+    Bursty,
+    HeavyTail,
+    MixedPriority,
+}
+
+impl Scenario {
+    fn as_str(self) -> &'static str {
+        match self {
+            Scenario::Closed => "closed",
+            Scenario::Steady => "steady",
+            Scenario::Bursty => "bursty",
+            Scenario::HeavyTail => "heavy-tail",
+            Scenario::MixedPriority => "mixed-priority",
+        }
+    }
+
+    fn parse(value: &str) -> Self {
+        match value {
+            "closed" => Scenario::Closed,
+            "steady" => Scenario::Steady,
+            "bursty" => Scenario::Bursty,
+            "heavy-tail" => Scenario::HeavyTail,
+            "mixed-priority" => Scenario::MixedPriority,
+            other => fail(format!(
+                "unknown scenario {other:?} (expected closed|steady|bursty|heavy-tail|mixed-priority)"
+            )),
+        }
+    }
 }
 
 struct Options {
@@ -56,6 +106,12 @@ struct Options {
     granularity: usize,
     backends: Vec<Backend>,
     dwell_ms: f64,
+    scenario: Scenario,
+    rate: f64,
+    slo_ms: f64,
+    shed_depth: Option<usize>,
+    wait_budget_ms: Option<f64>,
+    shed_hopeless: bool,
     seed: u64,
     json_path: Option<String>,
 }
@@ -72,6 +128,12 @@ impl Default for Options {
             granularity: 32,
             backends: vec![Backend::TileWise],
             dwell_ms: 4.0,
+            scenario: Scenario::Closed,
+            rate: 400.0,
+            slo_ms: 50.0,
+            shed_depth: None,
+            wait_budget_ms: None,
+            shed_hopeless: false,
             seed: 42,
             json_path: None,
         }
@@ -124,6 +186,17 @@ fn parse_args() -> Options {
             }
             "--sweep-backends" => opts.backends = Backend::ALL.to_vec(),
             "--dwell-ms" => opts.dwell_ms = parse("--dwell-ms", &value("--dwell-ms"), "a number"),
+            "--scenario" => opts.scenario = Scenario::parse(&value("--scenario")),
+            "--rate" => opts.rate = parse("--rate", &value("--rate"), "a number"),
+            "--slo-ms" => opts.slo_ms = parse("--slo-ms", &value("--slo-ms"), "a number"),
+            "--shed-depth" => {
+                opts.shed_depth = Some(parse("--shed-depth", &value("--shed-depth"), "an integer"));
+            }
+            "--wait-budget-ms" => {
+                opts.wait_budget_ms =
+                    Some(parse("--wait-budget-ms", &value("--wait-budget-ms"), "a number"));
+            }
+            "--shed-hopeless" => opts.shed_hopeless = true,
             "--seed" => opts.seed = parse("--seed", &value("--seed"), "an integer"),
             "--json" => opts.json_path = Some(value("--json")),
             other => fail(format!("unknown flag {other:?}")),
@@ -144,6 +217,17 @@ fn parse_args() -> Options {
     if !opts.dwell_ms.is_finite() || opts.dwell_ms < 0.0 {
         fail("--dwell-ms must be a non-negative number");
     }
+    if !opts.rate.is_finite() || opts.rate <= 0.0 {
+        fail("--rate must be a positive number");
+    }
+    if !opts.slo_ms.is_finite() || opts.slo_ms <= 0.0 {
+        fail("--slo-ms must be a positive number");
+    }
+    if let Some(budget) = opts.wait_budget_ms {
+        if !budget.is_finite() || budget < 0.0 {
+            fail("--wait-budget-ms must be a non-negative number");
+        }
+    }
     if !(0.0..=1.0).contains(&opts.sparsity) {
         fail("--sparsity must be in [0, 1]");
     }
@@ -159,8 +243,39 @@ fn parse_args() -> Options {
     opts
 }
 
+/// The traffic spec an open-loop scenario replays (`None` = closed loop).
+fn traffic_spec(opts: &Options, input_dim: usize) -> Option<TrafficSpec> {
+    let slo = Duration::from_secs_f64(opts.slo_ms * 1e-3);
+    match opts.scenario {
+        Scenario::Closed => None,
+        Scenario::Steady => {
+            Some(TrafficSpec::steady(opts.rate, slo, opts.requests, input_dim, opts.seed))
+        }
+        Scenario::Bursty => {
+            Some(TrafficSpec::bursty(opts.rate, slo, opts.requests, input_dim, opts.seed))
+        }
+        Scenario::HeavyTail => {
+            Some(TrafficSpec::heavy_tail(opts.rate, slo, opts.requests, input_dim, opts.seed))
+        }
+        Scenario::MixedPriority => {
+            Some(TrafficSpec::mixed_priority(opts.rate, slo, opts.requests, input_dim, opts.seed))
+        }
+    }
+}
+
+fn admission_config(opts: &Options) -> AdmissionConfig {
+    AdmissionConfig {
+        max_queue_depth: opts.shed_depth,
+        max_predicted_wait: opts.wait_budget_ms.map(|ms| Duration::from_secs_f64(ms * 1e-3)),
+        // The mixed-priority scenario demonstrates SLO-aware shedding even
+        // without explicit flags.
+        shed_hopeless: opts.shed_hopeless || opts.scenario == Scenario::MixedPriority,
+    }
+}
+
 /// One benchmark run's record, kept for the JSON artifact.
 struct RunRecord {
+    scenario: &'static str,
     backend: Backend,
     plan: Vec<String>,
     workers: usize,
@@ -169,17 +284,31 @@ struct RunRecord {
 
 impl RunRecord {
     fn to_json(&self) -> String {
+        let classes = self.report.classes.iter().map(|c| {
+            json::object(&[
+                ("name", json::string(&c.name)),
+                ("completed", c.completed.to_string()),
+                ("shed", c.shed.to_string()),
+                ("good", c.good.to_string()),
+                ("p50_ms", json::number(c.latency.p50_s * 1e3)),
+                ("p99_ms", json::number(c.latency.p99_s * 1e3)),
+            ])
+        });
         json::object(&[
+            ("scenario", json::string(self.scenario)),
             ("backend", json::string(self.backend.as_str())),
             ("plan", json::array(self.plan.iter().map(|p| json::string(p)))),
             ("workers", self.workers.to_string()),
             ("requests", self.report.completed.to_string()),
+            ("shed", self.report.shed.to_string()),
             ("throughput_rps", json::number(self.report.throughput_rps())),
+            ("goodput_rps", json::number(self.report.goodput_rps())),
             ("p50_ms", json::number(self.report.latency.p50_s * 1e3)),
             ("p95_ms", json::number(self.report.latency.p95_s * 1e3)),
             ("p99_ms", json::number(self.report.latency.p99_s * 1e3)),
             ("mean_batch", json::number(self.report.mean_batch_size())),
             ("sim_gpu_s", json::number(self.report.sim_gpu_s)),
+            ("classes", json::array(classes)),
         ])
     }
 }
@@ -188,8 +317,9 @@ fn main() {
     let opts = parse_args();
 
     eprintln!(
-        "# serving {} requests | model {:?} @ {:.0}% target sparsity | backends [{}] | batch<={} wait {}ms | dwell {}ms/batch",
+        "# serving {} requests | scenario {} | model {:?} @ {:.0}% target sparsity | backends [{}] | batch<={} wait {}ms | dwell {}ms/batch",
         opts.requests,
+        opts.scenario.as_str(),
         opts.dims,
         opts.sparsity * 100.0,
         opts.backends.iter().map(Backend::as_str).collect::<Vec<_>>().join(","),
@@ -199,11 +329,14 @@ fn main() {
     );
 
     csv_header(&[
+        "scenario",
         "backend",
         "plan",
         "workers",
         "requests",
+        "shed",
         "throughput_rps",
+        "goodput_rps",
         "p50_ms",
         "p95_ms",
         "p99_ms",
@@ -255,40 +388,80 @@ fn main() {
             session.batching_speedup(opts.max_batch, 4),
         );
 
+        let spec = traffic_spec(&opts, session.input_dim());
+        // One schedule per backend: every worker count replays the exact
+        // same arrival sequence.
+        let schedule = spec.as_ref().map(|s| s.schedule());
         let mut generator = RequestGenerator::new(session.input_dim(), 1.0, opts.seed);
         let mut throughputs: Vec<(usize, f64)> = Vec::new();
         for &workers in &opts.workers {
-            let config = ServeConfig {
+            let mut config = ServeConfig {
                 max_batch_size: opts.max_batch,
-                max_batch_wait: std::time::Duration::from_secs_f64(opts.wait_ms * 1e-3),
+                max_batch_wait: Duration::from_secs_f64(opts.wait_ms * 1e-3),
                 workers,
                 queue_capacity: (opts.max_batch * workers * 4).max(64),
                 gpu_dwell,
+                ..ServeConfig::default()
             };
-            let payloads = generator.payloads(opts.requests);
-            let (report, _) = serve_closed_loop(Arc::clone(&session), config, payloads);
-            assert_eq!(
-                report.completed, opts.requests,
-                "lost requests at {workers} workers ({backend})"
-            );
+            let report = match &spec {
+                None => {
+                    let payloads = generator.payloads(opts.requests);
+                    let (report, _) = serve_closed_loop(Arc::clone(&session), config, payloads);
+                    assert_eq!(
+                        report.completed, opts.requests,
+                        "lost requests at {workers} workers ({backend})"
+                    );
+                    report
+                }
+                Some(spec) => {
+                    config = config
+                        .with_traffic_classes(&spec.classes)
+                        .with_admission(admission_config(&opts));
+                    if let Some(depth) = opts.shed_depth {
+                        config.queue_capacity = config.queue_capacity.max(depth);
+                    }
+                    let schedule = schedule.as_deref().expect("schedule exists with a spec");
+                    let (report, _) = serve_open_loop(Arc::clone(&session), config, schedule);
+                    assert_eq!(
+                        report.completed + report.shed,
+                        opts.requests,
+                        "lost requests at {workers} workers ({backend})"
+                    );
+                    report
+                }
+            };
             csv_row(&[
+                opts.scenario.as_str().to_string(),
                 backend.to_string(),
                 // '+'-joined so the plan stays one CSV field.
                 session.layer_backends().join("+"),
                 workers.to_string(),
                 report.completed.to_string(),
+                report.shed.to_string(),
                 fmt(report.throughput_rps()),
+                fmt(report.goodput_rps()),
                 fmt(report.latency.p50_s * 1e3),
                 fmt(report.latency.p95_s * 1e3),
                 fmt(report.latency.p99_s * 1e3),
                 fmt(report.mean_batch_size()),
                 fmt(report.sim_gpu_s),
             ]);
+            for line in report.class_summary() {
+                eprintln!("#   [{} workers] {line}", workers);
+            }
             throughputs.push((workers, report.throughput_rps()));
-            records.push(RunRecord { backend, plan: report.backend_plan.clone(), workers, report });
+            records.push(RunRecord {
+                scenario: opts.scenario.as_str(),
+                backend,
+                plan: report.backend_plan.clone(),
+                workers,
+                report,
+            });
         }
 
-        // Scaling verdict over the sorted worker counts actually measured.
+        // Scaling verdict over the sorted worker counts actually measured
+        // (meaningful for the closed loop; open-loop throughput tracks the
+        // offered rate once the pool keeps up).
         let mut sorted = throughputs.clone();
         sorted.sort_by_key(|&(w, _)| w);
         let monotonic = sorted.windows(2).all(|pair| pair[1].1 > pair[0].1);
@@ -310,7 +483,10 @@ fn main() {
     if let Some(path) = &opts.json_path {
         let doc = json::object(&[
             ("benchmark", json::string("serving")),
+            ("scenario", json::string(opts.scenario.as_str())),
             ("requests", opts.requests.to_string()),
+            ("rate_rps", json::number(opts.rate)),
+            ("slo_ms", json::number(opts.slo_ms)),
             ("dims", json::array(opts.dims.iter().map(|d| d.to_string()))),
             ("target_sparsity", json::number(opts.sparsity)),
             ("granularity", opts.granularity.to_string()),

@@ -71,6 +71,212 @@ pub mod json {
         let body: Vec<String> = fields.iter().map(|(k, v)| format!("{}:{v}", string(k))).collect();
         format!("{{{}}}", body.join(","))
     }
+
+    /// A parsed JSON value — just enough structure for the perf-regression
+    /// gate to read benchmark artifacts back.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (parsed as `f64`).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup; `None` on non-objects or missing keys.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The number inside, if any.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(v) => Some(*v),
+                _ => None,
+            }
+        }
+
+        /// The string inside, if any.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The array elements, if any.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, nothing else).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, b':')?;
+                    let value = parse_value(bytes, pos)?;
+                    fields.push((key, value));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b't') if bytes[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < bytes.len()
+                    && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                let token = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+                token
+                    .parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| format!("invalid number {token:?} at byte {start}"))
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex =
+                                bytes.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged).
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().expect("non-empty rest");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -95,5 +301,43 @@ mod tests {
             ("plan", json::array(["tile-wise", "csr"].map(json::string))),
         ]);
         assert_eq!(obj, r#"{"name":"tw","workers":2,"plan":["tile-wise","csr"]}"#);
+    }
+
+    #[test]
+    fn json_parse_round_trips_emitted_documents() {
+        let doc = json::object(&[
+            ("benchmark", json::string("serving")),
+            ("throughput_rps", json::number(1234.5)),
+            ("nan", json::number(f64::NAN)),
+            ("ok", "true".to_string()),
+            (
+                "runs",
+                json::array(vec![
+                    json::object(&[("workers", "2".to_string())]),
+                    json::object(&[("workers", "4".to_string())]),
+                ]),
+            ),
+        ]);
+        let parsed = json::parse(&doc).expect("round trip");
+        assert_eq!(parsed.get("benchmark").unwrap().as_str(), Some("serving"));
+        assert_eq!(parsed.get("throughput_rps").unwrap().as_f64(), Some(1234.5));
+        assert_eq!(parsed.get("nan"), Some(&json::Value::Null));
+        assert_eq!(parsed.get("ok"), Some(&json::Value::Bool(true)));
+        let runs = parsed.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[1].get("workers").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn json_parse_handles_escapes_whitespace_and_errors() {
+        let v = json::parse(" {\n  \"a\\n\\\"b\" : [1, -2.5e1, null] }\n").unwrap();
+        let arr = v.get("a\n\"b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-25.0));
+        assert_eq!(json::parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
+        assert!(json::parse("{\"a\":1,}").is_err());
+        assert!(json::parse("[1, 2] trailing").is_err());
+        assert!(json::parse("").is_err());
+        assert!(json::parse("{\"unterminated").is_err());
     }
 }

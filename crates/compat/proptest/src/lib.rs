@@ -25,7 +25,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Length bounds accepted by [`vec`].
+    /// Length bounds accepted by [`fn@vec`].
     pub trait IntoSizeRange {
         /// Inclusive `(min, max)` length bounds.
         fn into_bounds(self) -> (usize, usize);

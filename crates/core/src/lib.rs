@@ -42,7 +42,7 @@ pub use backend::{AutoPlanner, Backend, BackendParseError, KernelBackend, Kernel
 pub use evaluate::{ModelEvaluation, SparseModelReport};
 pub use planner::{ExecutionConfig, ExecutionPlanner, TransposeStrategy};
 pub use pruner::{PrunedModel, TileWisePruner, TileWisePrunerConfig};
-pub use session::InferenceSession;
+pub use session::{DwellModel, InferenceSession};
 pub use tew_matrix::TewMatrix;
 pub use tile_matrix::TileWiseMatrix;
 

@@ -297,6 +297,18 @@ impl InferenceSession {
         self.plan_batch(batch_size).total_time()
     }
 
+    /// A memoized per-batch-size dwell table for batch sizes `1..=max_batch`
+    /// — the prediction hook the serving layer's admission controller and
+    /// deadline-aware batcher consult on every request, where re-running the
+    /// planner would be far too slow for the hot path.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    pub fn dwell_model(&self, max_batch: usize) -> DwellModel {
+        assert!(max_batch > 0, "dwell model needs at least batch size 1");
+        DwellModel { seconds: (1..=max_batch).map(|b| self.simulated_batch_seconds(b)).collect() }
+    }
+
     /// The modelled win of dynamic batching itself: device time of
     /// `batch_size` *independent* single-request forward passes overlapped
     /// across `streams` CUDA streams, divided by the device time of the same
@@ -309,6 +321,40 @@ impl InferenceSession {
         let single = self.plan_batch(1).total_time();
         let unbatched = StreamSim::new(streams).schedule_uniform(single, batch_size).makespan();
         unbatched / self.simulated_batch_seconds(batch_size)
+    }
+}
+
+/// A precomputed table of simulated device seconds per batch size, built by
+/// [`InferenceSession::dwell_model`].  This is the cost-model hook the
+/// serving layer schedules against: predicting how long a batch will occupy
+/// the device answers both "can this request still meet its deadline?"
+/// (admission control) and "how long dare the batcher keep waiting?"
+/// (deadline-aware batch close) without touching the planner at runtime.
+#[derive(Clone, Debug)]
+pub struct DwellModel {
+    /// `seconds[i]` prices a batch of `i + 1` requests.
+    seconds: Vec<f64>,
+}
+
+impl DwellModel {
+    /// Largest batch size the table covers.
+    pub fn max_batch(&self) -> usize {
+        self.seconds.len()
+    }
+
+    /// Simulated device seconds for a batch of `batch_size` requests.
+    /// A `batch_size` of zero costs nothing; sizes beyond the table are
+    /// extrapolated linearly from the largest entry's per-request cost
+    /// (batching only amortizes, so this never underestimates).
+    pub fn seconds_for(&self, batch_size: usize) -> f64 {
+        if batch_size == 0 {
+            return 0.0;
+        }
+        if batch_size <= self.seconds.len() {
+            return self.seconds[batch_size - 1];
+        }
+        let max = self.seconds.len();
+        self.seconds[max - 1] * batch_size as f64 / max as f64
     }
 }
 
@@ -464,6 +510,28 @@ mod tests {
         assert_eq!(s.simulated_batch_seconds(0), 0.0);
         // Batching amortizes: 64 requests in one batch beat 64 singles.
         assert!(t64 < 64.0 * t1);
+    }
+
+    #[test]
+    fn dwell_model_memoizes_the_planner() {
+        let s = session(Backend::TileWise);
+        let model = s.dwell_model(8);
+        assert_eq!(model.max_batch(), 8);
+        for b in 1..=8 {
+            assert_eq!(model.seconds_for(b), s.simulated_batch_seconds(b), "batch {b}");
+        }
+        assert_eq!(model.seconds_for(0), 0.0);
+        // Extrapolation beyond the table never undercuts the real price —
+        // batching amortizes, so per-request cost at 16 <= per-request at 8.
+        assert!(model.seconds_for(16) >= s.simulated_batch_seconds(16));
+        // And it stays monotone in batch size.
+        assert!(model.seconds_for(16) >= model.seconds_for(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least batch size 1")]
+    fn zero_dwell_table_rejected() {
+        let _ = session(Backend::Dense).dwell_model(0);
     }
 
     #[test]

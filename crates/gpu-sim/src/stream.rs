@@ -1,7 +1,7 @@
 //! CUDA-stream concurrency model.
 //!
 //! The paper's load-imbalance mitigation assigns different tile GEMMs to
-//! different streams "and rel[ies] on the underlying scheduler to maximize
+//! different streams "and rel\[ies\] on the underlying scheduler to maximize
 //! resource utilization" (Fig. 7 ④).  [`StreamSim`] models that scheduler as
 //! a greedy longest-processing-time assignment of kernels to a bounded
 //! number of streams; the makespan of the schedule is the latency the cost

@@ -20,15 +20,21 @@
 //!   actual training rather than from the proxy's construction.
 //! * [`requests`] — seeded synthetic inference-request payloads and Poisson
 //!   arrival gaps for the `tw-serve` serving runtime and its benchmarks.
+//! * [`traffic`] — open-loop traffic schedules: pluggable arrival processes
+//!   (Poisson, bursty ON/OFF, heavy-tailed Pareto) over mixed request
+//!   classes (interactive vs. batch), rendered deterministically so every
+//!   serving scenario replays from its seed.
 
 pub mod accuracy;
 pub mod mlp;
 pub mod requests;
 pub mod synthetic;
+pub mod traffic;
 pub mod workload;
 
 pub use accuracy::{AccuracyModel, TaskKind};
 pub use mlp::{MlpClassifier, MlpTrainConfig, SyntheticClassification};
 pub use requests::RequestGenerator;
 pub use synthetic::{SyntheticModel, SyntheticModelConfig};
+pub use traffic::{Arrival, ArrivalProcess, TrafficClass, TrafficSpec};
 pub use workload::{AuxOp, FixedGemm, ModelKind, PrunableGemm, Workload};

@@ -1,0 +1,241 @@
+//! SLO-aware admission control: shed load the system cannot serve in time.
+//!
+//! Backpressure (blocking the submitter on a full queue) is the right
+//! overload response for a closed loop, but an open-loop front-end cannot
+//! block the world: requests keep arriving on their own clock, and queueing
+//! everything just converts overload into unbounded latency for *every*
+//! class.  The admission controller instead refuses work at the door, using
+//! the same `tw-gpu-sim` cost model the planner prices kernels with:
+//!
+//! 1. **Depth** — shed once queue depth reaches the configured bound.
+//! 2. **Predicted wait** — the *full* batches ahead of a new request (a
+//!    trailing partial batch is one the request joins, not one it waits
+//!    behind) cost `depth / max_batch` batch executions spread over the
+//!    worker pool; each batch's wall time comes from the session's [`DwellModel`]
+//!    scaled by the configured [`crate::GpuDwell`].  Under strict priority
+//!    the depth that matters is the backlog in lanes of the same or higher
+//!    priority, not the whole queue — an interactive request jumps any
+//!    batch-lane wall.  Shed when that predicted wait exceeds the budget.
+//! 3. **Hopeless deadlines** — a request whose predicted wait *plus* its own
+//!    batch's predicted execution already overruns its class SLO would burn
+//!    device time without earning goodput; shed it immediately so the
+//!    capacity serves requests that can still win.
+//!
+//! Every shed is recorded — the server guarantees each submitted id ends up
+//! either completed or in the shed log, never silently dropped.
+
+use crate::config::{ClassPolicy, ServeConfig};
+use crate::request::ShedReason;
+use std::time::Duration;
+use tilewise::DwellModel;
+
+/// Decides, per submission, whether the request is admitted or shed.
+#[derive(Clone, Debug)]
+pub struct AdmissionController {
+    policy: crate::config::AdmissionConfig,
+    /// Predicted wall-clock seconds one full batch occupies a worker
+    /// (cost-model dwell x configured time scale; `0` when serving
+    /// CPU-only, which disables the wait- and deadline-based policies).
+    batch_wall_s: f64,
+    max_batch: usize,
+    workers: usize,
+}
+
+impl AdmissionController {
+    /// Builds the controller for `config`, pricing batches with `dwell` (the
+    /// session's memoized cost-model table).
+    pub fn new(config: &ServeConfig, dwell: &DwellModel) -> Self {
+        let time_scale = config.gpu_dwell.map_or(0.0, |d| d.time_scale);
+        Self {
+            policy: config.admission,
+            batch_wall_s: dwell.seconds_for(config.max_batch_size) * time_scale,
+            max_batch: config.max_batch_size,
+            workers: config.workers,
+        }
+    }
+
+    /// Whether any shedding policy is active (otherwise the server uses
+    /// blocking backpressure and never consults [`Self::decide`]).
+    pub fn is_active(&self) -> bool {
+        self.policy.is_active()
+    }
+
+    /// Predicted wall-clock wait before a request admitted behind
+    /// `queue_depth` others starts executing.  Only *full* batches ahead
+    /// count — a request arriving behind a partial batch joins it rather
+    /// than waiting behind it — and those batches spread across the pool.
+    pub fn predicted_wait(&self, queue_depth: usize) -> Duration {
+        let full_batches_ahead = queue_depth / self.max_batch;
+        let rounds = full_batches_ahead.div_ceil(self.workers);
+        Duration::from_secs_f64(rounds as f64 * self.batch_wall_s)
+    }
+
+    /// Predicted wall-clock execution time of the batch the request itself
+    /// will ride in (worst case: a full batch).
+    pub fn predicted_execution(&self) -> Duration {
+        Duration::from_secs_f64(self.batch_wall_s)
+    }
+
+    /// `None` to admit, or the reason to shed.  `total_depth` is the whole
+    /// queue (the capacity-protection input of the depth policy);
+    /// `depth_ahead` is the backlog in lanes of the same or higher priority
+    /// (see [`crate::PriorityQueue::depths`]) — under strict priority that,
+    /// not the total, is what the request actually waits behind, so the
+    /// wait- and deadline-based policies use it.  An interactive request in
+    /// front of a wall of batch work is *not* hopeless.
+    pub fn decide(
+        &self,
+        total_depth: usize,
+        depth_ahead: usize,
+        class: &ClassPolicy,
+    ) -> Option<ShedReason> {
+        if let Some(depth) = self.policy.max_queue_depth {
+            if total_depth >= depth {
+                return Some(ShedReason::QueueFull);
+            }
+        }
+        let wait = self.predicted_wait(depth_ahead);
+        if let Some(budget) = self.policy.max_predicted_wait {
+            if wait > budget {
+                return Some(ShedReason::WaitBudget);
+            }
+        }
+        if self.policy.shed_hopeless {
+            if let Some(slo) = class.deadline {
+                if wait + self.predicted_execution() > slo {
+                    return Some(ShedReason::Deadline);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AdmissionConfig, GpuDwell};
+    use std::sync::Arc;
+    use tilewise::{Backend, InferenceSession};
+
+    fn dwell_model() -> (Arc<InferenceSession>, DwellModel) {
+        let session =
+            Arc::new(InferenceSession::synthetic_chain(&[24, 32, 12], 0.5, 8, 17, Backend::Dense));
+        let model = session.dwell_model(8);
+        (session, model)
+    }
+
+    fn config(admission: AdmissionConfig, time_scale: f64) -> ServeConfig {
+        ServeConfig {
+            max_batch_size: 8,
+            workers: 2,
+            gpu_dwell: (time_scale > 0.0).then_some(GpuDwell { time_scale }),
+            admission,
+            classes: vec![
+                ClassPolicy::with_deadline("interactive", Duration::from_millis(20)),
+                ClassPolicy::best_effort("batch"),
+            ],
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn inactive_controller_admits_everything() {
+        let (_s, dwell) = dwell_model();
+        let ctl = AdmissionController::new(&config(AdmissionConfig::default(), 0.0), &dwell);
+        assert!(!ctl.is_active());
+        let class = ClassPolicy::best_effort("x");
+        assert_eq!(ctl.decide(1_000_000, 1_000_000, &class), None);
+    }
+
+    #[test]
+    fn depth_policy_sheds_at_the_bound() {
+        let (_s, dwell) = dwell_model();
+        let cfg = config(AdmissionConfig { max_queue_depth: Some(64), ..Default::default() }, 0.0);
+        let ctl = AdmissionController::new(&cfg, &dwell);
+        let class = ClassPolicy::best_effort("x");
+        assert_eq!(ctl.decide(63, 63, &class), None);
+        assert_eq!(ctl.decide(64, 0, &class), Some(ShedReason::QueueFull));
+    }
+
+    #[test]
+    fn predicted_wait_scales_with_depth_and_pool() {
+        let (_s, dwell) = dwell_model();
+        let cfg = config(AdmissionConfig::default(), 1e4);
+        let ctl = AdmissionController::new(&cfg, &dwell);
+        let empty = ctl.predicted_wait(0);
+        let shallow = ctl.predicted_wait(16);
+        let deep = ctl.predicted_wait(160);
+        assert_eq!(empty, Duration::ZERO);
+        assert!(shallow > Duration::ZERO);
+        assert!(deep > shallow * 5, "deep {deep:?} vs shallow {shallow:?}");
+    }
+
+    #[test]
+    fn wait_budget_sheds_deep_backlogs_only() {
+        let (_s, dwell) = dwell_model();
+        let budget = {
+            // Pick a budget between the 1-round and 100-round predicted waits.
+            let probe = AdmissionController::new(&config(AdmissionConfig::default(), 1e4), &dwell);
+            probe.predicted_wait(16) * 10
+        };
+        let cfg =
+            config(AdmissionConfig { max_predicted_wait: Some(budget), ..Default::default() }, 1e4);
+        let ctl = AdmissionController::new(&cfg, &dwell);
+        let class = ClassPolicy::best_effort("x");
+        assert_eq!(ctl.decide(16, 16, &class), None);
+        assert_eq!(ctl.decide(1600, 1600, &class), Some(ShedReason::WaitBudget));
+    }
+
+    #[test]
+    fn near_empty_queue_does_not_shed_feasible_slo_requests() {
+        let (_s, dwell) = dwell_model();
+        // SLO of 1.5x the full-batch wall time: feasible whenever no full
+        // batch is queued ahead, since the request joins the next batch.
+        let cfg = config(AdmissionConfig { shed_hopeless: true, ..Default::default() }, 1e4);
+        let ctl = AdmissionController::new(&cfg, &dwell);
+        let slo = ctl.predicted_execution().mul_f64(1.5);
+        let class = ClassPolicy::with_deadline("interactive", slo);
+        for depth in 0..cfg.max_batch_size {
+            assert_eq!(ctl.predicted_wait(depth), Duration::ZERO, "depth {depth}");
+            assert_eq!(ctl.decide(depth, depth, &class), None, "depth {depth} must admit");
+        }
+        // One full batch of same-priority work ahead makes the same SLO
+        // hopeless...
+        let full = cfg.max_batch_size * cfg.workers;
+        assert_eq!(ctl.decide(full, full, &class), Some(ShedReason::Deadline));
+        // ...but the same *total* depth made of lower-priority (batch-lane)
+        // work does not: the interactive request jumps it.
+        assert_eq!(ctl.decide(full, 0, &class), None);
+    }
+
+    #[test]
+    fn hopeless_deadline_sheds_only_slo_classes() {
+        let (_s, dwell) = dwell_model();
+        // Enormous time scale: even one batch ahead blows a 20ms SLO.
+        let cfg = config(AdmissionConfig { shed_hopeless: true, ..Default::default() }, 1e6);
+        let ctl = AdmissionController::new(&cfg, &dwell);
+        let interactive = &cfg.classes[0];
+        let batch = &cfg.classes[1];
+        assert_eq!(ctl.decide(64, 64, interactive), Some(ShedReason::Deadline));
+        assert_eq!(ctl.decide(64, 64, batch), None, "best-effort class has no deadline to miss");
+    }
+
+    #[test]
+    fn cpu_only_serving_disables_wait_based_policies() {
+        let (_s, dwell) = dwell_model();
+        let cfg = config(
+            AdmissionConfig {
+                max_predicted_wait: Some(Duration::from_nanos(1)),
+                shed_hopeless: true,
+                ..Default::default()
+            },
+            0.0,
+        );
+        let ctl = AdmissionController::new(&cfg, &dwell);
+        assert!(ctl.is_active());
+        // With no dwell the predicted wait is zero, so neither wait policy
+        // can trigger; only the depth policy would.
+        assert_eq!(ctl.decide(10_000, 10_000, &cfg.classes[0]), None);
+    }
+}

@@ -1,4 +1,5 @@
-//! The dynamic batcher: size- and deadline-bounded request grouping.
+//! The SLO-aware dynamic batcher: size-, wait- and deadline-bounded
+//! request grouping.
 //!
 //! Batching amortizes per-kernel overhead (and, on the modelled GPU, fills
 //! streams), but waiting for a full batch adds latency.  The standard
@@ -7,42 +8,72 @@
 //! after the first request arrived, whichever comes first.  The wait clock
 //! starts at the batch head, so an idle server adds zero batching latency to
 //! a lone request beyond the configured budget.
+//!
+//! On top of that, [`SloBatcher`] is *deadline-aware*: every batch member
+//! with an SLO tightens the fill deadline to `member.deadline -
+//! predicted_execution`, where the predicted execution time comes from the
+//! session's cost-model dwell table.  A batch carrying a near-deadline
+//! interactive request therefore closes early — shipping a smaller batch —
+//! instead of politely waiting out a budget the request cannot afford.
+//! Requests are popped from the priority queue, so higher-priority lanes
+//! fill batches first.
 
-use crate::queue::{BoundedQueue, Pop};
+use crate::queue::{Pop, PriorityQueue};
+use crate::request::InferenceRequest;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Groups queued items into dynamic batches.  One batcher is shared by all
-/// workers; each [`DynamicBatcher::next_batch`] call assembles one batch.
-pub struct DynamicBatcher<T> {
-    queue: Arc<BoundedQueue<T>>,
+/// Groups queued requests into dynamic batches.  One batcher is shared by
+/// all workers; each [`SloBatcher::next_batch`] call assembles one batch.
+pub struct SloBatcher {
+    queue: Arc<PriorityQueue<InferenceRequest>>,
     max_batch_size: usize,
     max_batch_wait: Duration,
+    /// Predicted wall-clock execution time of a full batch — the margin a
+    /// member's deadline must leave for the batch to still be worth joining.
+    /// `ZERO` (e.g. CPU-only serving) degrades to the plain wait budget.
+    predicted_exec: Duration,
 }
 
-impl<T> DynamicBatcher<T> {
+impl SloBatcher {
     /// A batcher draining `queue` with the given bounds.
     ///
     /// # Panics
     /// Panics if `max_batch_size` is zero.
     pub fn new(
-        queue: Arc<BoundedQueue<T>>,
+        queue: Arc<PriorityQueue<InferenceRequest>>,
         max_batch_size: usize,
         max_batch_wait: Duration,
+        predicted_exec: Duration,
     ) -> Self {
         assert!(max_batch_size > 0, "max batch size must be positive");
-        Self { queue, max_batch_size, max_batch_wait }
+        Self { queue, max_batch_size, max_batch_wait, predicted_exec }
     }
 
     /// The queue this batcher drains.
-    pub fn queue(&self) -> &Arc<BoundedQueue<T>> {
+    pub fn queue(&self) -> &Arc<PriorityQueue<InferenceRequest>> {
         &self.queue
     }
 
+    /// The latest moment the batch may keep filling once `request` is a
+    /// member: its deadline minus the predicted batch execution time (never
+    /// later than the running `fill_until`).
+    fn tighten(&self, fill_until: Instant, request: &InferenceRequest) -> Instant {
+        match request.deadline {
+            Some(deadline) => {
+                let latest_start =
+                    deadline.checked_sub(self.predicted_exec).unwrap_or_else(Instant::now);
+                fill_until.min(latest_start)
+            }
+            None => fill_until,
+        }
+    }
+
     /// Assembles the next batch: blocks for a batch head, then fills until
-    /// the size cap or the wait deadline.  Returns `None` once the queue is
-    /// closed and drained — the worker's signal to exit.
-    pub fn next_batch(&self) -> Option<Vec<T>> {
+    /// the size cap, the wait deadline, or the earliest member's SLO cutoff.
+    /// Returns `None` once the queue is closed and drained — the worker's
+    /// signal to exit.
+    pub fn next_batch(&self) -> Option<Vec<InferenceRequest>> {
         // Phase 1: wait (indefinitely, in slices) for the batch head.
         let head = loop {
             match self.queue.pop_timeout(Duration::from_millis(50)) {
@@ -52,17 +83,20 @@ impl<T> DynamicBatcher<T> {
             }
         };
 
-        // Phase 2: fill until size cap or deadline.
-        let deadline = Instant::now() + self.max_batch_wait;
+        // Phase 2: fill until size cap, wait deadline, or SLO cutoff.
+        let mut fill_until = self.tighten(Instant::now() + self.max_batch_wait, &head);
         let mut batch = Vec::with_capacity(self.max_batch_size);
         batch.push(head);
         while batch.len() < self.max_batch_size {
             let now = Instant::now();
-            if now >= deadline {
+            if now >= fill_until {
                 break;
             }
-            match self.queue.pop_timeout(deadline - now) {
-                Pop::Item(item) => batch.push(item),
+            match self.queue.pop_timeout(fill_until - now) {
+                Pop::Item(item) => {
+                    fill_until = self.tighten(fill_until, &item);
+                    batch.push(item);
+                }
                 // Closed with a partial batch in hand: flush what we have;
                 // the next call will observe Closed and return None.
                 Pop::TimedOut | Pop::Closed => break,
@@ -76,11 +110,33 @@ impl<T> DynamicBatcher<T> {
 mod tests {
     use super::*;
 
-    fn batcher(capacity: usize, max_batch: usize, wait_ms: u64) -> DynamicBatcher<u64> {
-        DynamicBatcher::new(
-            Arc::new(BoundedQueue::new(capacity)),
+    fn request(id: u64) -> InferenceRequest {
+        InferenceRequest::new(id, vec![0.0; 4])
+    }
+
+    fn deadline_request(id: u64, slo_ms: u64) -> InferenceRequest {
+        InferenceRequest::classed(id, vec![0.0; 4], 0, Some(Duration::from_millis(slo_ms)))
+    }
+
+    fn ids(batch: &[InferenceRequest]) -> Vec<u64> {
+        batch.iter().map(|r| r.id).collect()
+    }
+
+    fn batcher(capacity: usize, max_batch: usize, wait_ms: u64) -> SloBatcher {
+        batcher_with_exec(capacity, max_batch, wait_ms, 0)
+    }
+
+    fn batcher_with_exec(
+        capacity: usize,
+        max_batch: usize,
+        wait_ms: u64,
+        exec_ms: u64,
+    ) -> SloBatcher {
+        SloBatcher::new(
+            Arc::new(PriorityQueue::new(2, capacity)),
             max_batch,
             Duration::from_millis(wait_ms),
+            Duration::from_millis(exec_ms),
         )
     }
 
@@ -88,29 +144,29 @@ mod tests {
     fn full_batch_closes_at_size_cap_without_waiting() {
         let b = batcher(64, 4, 10_000);
         for i in 0..11 {
-            b.queue().push(i).unwrap();
+            b.queue().push(0, request(i)).unwrap();
         }
         // A queue holding >= max_batch items must yield a full batch
         // immediately even with a huge wait budget.
         let start = Instant::now();
-        assert_eq!(b.next_batch(), Some(vec![0, 1, 2, 3]));
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![0, 1, 2, 3]);
         assert!(start.elapsed() < Duration::from_secs(1), "must not wait out the budget");
-        assert_eq!(b.next_batch(), Some(vec![4, 5, 6, 7]));
-        // The remainder is flushed as a partial batch after the deadline...
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![4, 5, 6, 7]);
+        // The remainder is flushed as a partial batch after close...
         b.queue().close();
-        assert_eq!(b.next_batch(), Some(vec![8, 9, 10]));
-        assert_eq!(b.next_batch(), None);
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![8, 9, 10]);
+        assert!(b.next_batch().is_none());
     }
 
     #[test]
     fn deadline_flushes_partial_batch() {
         let b = batcher(64, 8, 30);
-        b.queue().push(1).unwrap();
-        b.queue().push(2).unwrap();
+        b.queue().push(0, request(1)).unwrap();
+        b.queue().push(0, request(2)).unwrap();
         let start = Instant::now();
         let batch = b.next_batch().unwrap();
         let waited = start.elapsed();
-        assert_eq!(batch, vec![1, 2]);
+        assert_eq!(ids(&batch), vec![1, 2]);
         // The batcher must have honoured (roughly) the wait budget before
         // flushing a partial batch.
         assert!(waited >= Duration::from_millis(25), "flushed after {waited:?}");
@@ -120,19 +176,19 @@ mod tests {
     #[test]
     fn late_arrivals_within_budget_join_the_batch() {
         let b = Arc::new(batcher(64, 3, 500));
-        b.queue().push(1).unwrap();
+        b.queue().push(0, request(1)).unwrap();
         let feeder = {
             let q = Arc::clone(b.queue());
             std::thread::spawn(move || {
                 std::thread::sleep(Duration::from_millis(20));
-                q.push(2).unwrap();
-                q.push(3).unwrap();
+                q.push(0, request(2)).unwrap();
+                q.push(0, request(3)).unwrap();
             })
         };
         let start = Instant::now();
         let batch = b.next_batch().unwrap();
         feeder.join().unwrap();
-        assert_eq!(batch, vec![1, 2, 3]);
+        assert_eq!(ids(&batch), vec![1, 2, 3]);
         // Filled by arrival, not by deadline.
         assert!(start.elapsed() < Duration::from_millis(400));
     }
@@ -140,7 +196,7 @@ mod tests {
     #[test]
     fn close_flushes_partial_batch_then_ends() {
         let b = Arc::new(batcher(64, 8, 10_000));
-        b.queue().push(5).unwrap();
+        b.queue().push(0, request(5)).unwrap();
         let closer = {
             let q = Arc::clone(b.queue());
             std::thread::spawn(move || {
@@ -150,30 +206,76 @@ mod tests {
         };
         // Close must cut the fill phase short well before the 10s budget.
         let start = Instant::now();
-        assert_eq!(b.next_batch(), Some(vec![5]));
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![5]);
         assert!(start.elapsed() < Duration::from_secs(5));
         closer.join().unwrap();
-        assert_eq!(b.next_batch(), None);
+        assert!(b.next_batch().is_none());
     }
 
     #[test]
     fn batch_size_one_never_waits() {
         let b = batcher(8, 1, 10_000);
-        b.queue().push(9).unwrap();
+        b.queue().push(0, request(9)).unwrap();
         let start = Instant::now();
-        assert_eq!(b.next_batch(), Some(vec![9]));
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![9]);
         assert!(start.elapsed() < Duration::from_millis(100));
     }
 
     #[test]
     fn zero_wait_degenerates_to_head_only_batches() {
         let b = batcher(8, 4, 0);
-        b.queue().push(1).unwrap();
-        b.queue().push(2).unwrap();
+        b.queue().push(0, request(1)).unwrap();
+        b.queue().push(0, request(2)).unwrap();
         // With a zero wait budget the deadline has already passed once the
         // head is in hand, so every batch is a singleton.
-        assert_eq!(b.next_batch(), Some(vec![1]));
-        assert_eq!(b.next_batch(), Some(vec![2]));
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![1]);
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![2]);
+    }
+
+    #[test]
+    fn near_deadline_head_closes_the_batch_early() {
+        // Wait budget 500ms, but the head's SLO leaves no slack after the
+        // predicted 90ms execution: the batch must flush (almost)
+        // immediately instead of waiting out the budget.
+        let b = batcher_with_exec(64, 8, 500, 90);
+        b.queue().push(0, deadline_request(1, 100)).unwrap();
+        let start = Instant::now();
+        let batch = b.next_batch().unwrap();
+        assert_eq!(ids(&batch), vec![1]);
+        assert!(start.elapsed() < Duration::from_millis(120), "waited {:?}", start.elapsed());
+    }
+
+    #[test]
+    fn deadline_member_tightens_a_running_fill() {
+        // Best-effort head opens a 10s fill window; a near-deadline joiner
+        // must slam it shut.
+        let b = Arc::new(batcher_with_exec(64, 8, 10_000, 50));
+        b.queue().push(1, request(1)).unwrap();
+        let feeder = {
+            let q = Arc::clone(b.queue());
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                q.push(0, deadline_request(2, 60)).unwrap();
+            })
+        };
+        let start = Instant::now();
+        let batch = b.next_batch().unwrap();
+        feeder.join().unwrap();
+        let mut got = ids(&batch);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert!(start.elapsed() < Duration::from_millis(500), "waited {:?}", start.elapsed());
+    }
+
+    #[test]
+    fn higher_priority_lane_fills_batches_first() {
+        let b = batcher(64, 2, 10_000);
+        b.queue().push(1, request(10)).unwrap();
+        b.queue().push(1, request(11)).unwrap();
+        b.queue().push(0, request(1)).unwrap();
+        b.queue().push(0, request(2)).unwrap();
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![1, 2]);
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![10, 11]);
     }
 
     #[test]

@@ -1,41 +1,51 @@
-//! `tw-serve` — a batched sparse-inference serving runtime.
+//! `tw-serve` — a batched sparse-inference serving runtime with SLO-aware
+//! admission control.
 //!
 //! The rest of the workspace reproduces the paper's *offline* story: prune a
 //! model tile-wise, compact the weights, plan the kernels, price them on the
 //! GPU cost model.  This crate adds the *online* layer a production system
-//! needs — accepting a stream of inference requests and turning it into
-//! batched sparse kernel executions with bounded latency:
+//! needs — accepting a stream of inference requests (closed-loop or
+//! open-loop, uniform or heavy-tailed) and turning it into batched sparse
+//! kernel executions with bounded latency:
 //!
 //! ```text
-//!  submit()                 +------------------+
-//!  ---------> BoundedQueue  |  DynamicBatcher  |   worker 0 ── forward_batch (TW/CSR/dense)
-//!  ---------> (backpressure)|  max size / wait | → worker 1 ──   + simulated GPU dwell
-//!  --------->               +------------------+   worker N ── responses → ServeReport
+//!  submit / submit_to       +------------------+
+//!  ---> AdmissionController |    SloBatcher    |   worker 0 ── forward_batch (TW/CSR/dense)
+//!  ---> PriorityQueue       | size / wait / SLO| → worker 1 ──   + simulated GPU dwell
+//!  ---> (shed or backpress.)|   early close    |   worker N ── responses → ServeReport
 //! ```
 //!
-//! * [`queue::BoundedQueue`] — the admission path: multi-producer,
-//!   multi-consumer, bounded (submitters block when the system is
-//!   saturated), closable (shutdown drains in-flight work).
-//! * [`batcher::DynamicBatcher`] — groups requests into batches of at most
+//! * [`admission::AdmissionController`] — SLO-aware load shedding: refuses
+//!   requests when queue depth, cost-model-predicted wait, or a hopeless
+//!   class deadline says admitting them would only burn capacity.  Every
+//!   shed is recorded; ids are never silently dropped.
+//! * [`queue::PriorityQueue`] — the admission path: multi-producer,
+//!   multi-consumer, bounded, closable, with one FIFO lane per request
+//!   class served in strict priority order (interactive jumps batch).
+//! * [`batcher::SloBatcher`] — groups requests into batches of at most
 //!   `max_batch_size`, waiting at most `max_batch_wait` after the batch
-//!   head arrives: the standard latency/throughput compromise.
+//!   head arrives — and closes *early* when a member's deadline leaves no
+//!   slack for the predicted batch execution time.
 //! * [`pool::WorkerPool`] — N threads, each executing whole batches on a
 //!   shared [`tilewise::InferenceSession`] whose layers each run their own
-//!   [`tilewise::KernelBackend`] (dense, tile-wise, CSR, BSR, or any
-//!   registered custom family — possibly a different one per layer, as the
-//!   auto-planner picks), then dwelling for the batch's simulated device
-//!   time so pool-level overlap behaves like a real accelerator-backed tier.
-//! * [`stats::ServeReport`] — per-request latency percentiles (p50/p95/p99),
-//!   throughput, batch-size and per-worker counters, plus the per-layer
-//!   backend plan the session actually served with.
+//!   [`tilewise::KernelBackend`], then dwelling for the batch's simulated
+//!   device time so pool-level overlap behaves like a real
+//!   accelerator-backed tier.
+//! * [`stats::ServeReport`] — overall and per-class latency percentiles,
+//!   throughput, *goodput* (completions within SLO), shed rates, batch-size
+//!   and per-worker counters, plus the per-layer backend plan.
 //!
-//! The [`Server`] ties these together; [`serve_closed_loop`] is the
-//! one-call harness the benchmarks and examples use.
+//! The [`Server`] ties these together; [`serve_closed_loop`] submits a
+//! fixed payload list under blocking backpressure (peak-throughput
+//! benchmarks), while [`serve_open_loop`] replays a `tw-models`
+//! [`Arrival`] schedule on its own clock (traffic scenarios: steady,
+//! bursty, heavy-tailed, mixed-priority).
 //!
 //! Everything is deterministic except scheduling: responses carry request
 //! ids, and the batched sparse outputs equal per-request dense inference
 //! within kernel tolerance (pinned by `tests/serving_end_to_end.rs`).
 
+pub mod admission;
 pub mod batcher;
 pub mod config;
 pub mod pool;
@@ -43,32 +53,59 @@ pub mod queue;
 pub mod request;
 pub mod stats;
 
-pub use batcher::DynamicBatcher;
-pub use config::{GpuDwell, ServeConfig};
+pub use admission::AdmissionController;
+pub use batcher::SloBatcher;
+pub use config::{AdmissionConfig, ClassPolicy, GpuDwell, ServeConfig};
 pub use pool::WorkerPool;
-pub use queue::{BoundedQueue, Pop};
-pub use request::{InferenceRequest, InferenceResponse};
-pub use stats::{LatencySummary, ServeReport, WorkerStats};
+pub use queue::{Pop, PriorityQueue, PushError};
+pub use request::{ClassId, InferenceRequest, InferenceResponse, ShedReason, ShedRecord};
+pub use stats::{ClassStats, LatencySummary, RunObservation, ServeReport, WorkerStats};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 use tilewise::InferenceSession;
+use tw_models::Arrival;
+
+/// Outcome of one [`Server::submit_to`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The request was queued and will be served; the id will appear in a
+    /// response.
+    Admitted(u64),
+    /// The request was refused; the id appears in the report's shed log.
+    Shed(ShedRecord),
+}
+
+impl Admission {
+    /// The id assigned to the submission, admitted or not.
+    pub fn id(&self) -> u64 {
+        match self {
+            Admission::Admitted(id) => *id,
+            Admission::Shed(record) => record.id,
+        }
+    }
+}
 
 /// A running serving instance: submit requests, then shut down for a report.
 pub struct Server {
     session: Arc<InferenceSession>,
-    queue: Arc<BoundedQueue<InferenceRequest>>,
+    queue: Arc<PriorityQueue<InferenceRequest>>,
     pool: WorkerPool,
+    admission: AdmissionController,
+    classes: Vec<ClassPolicy>,
     responses: Mutex<Receiver<InferenceResponse>>,
-    // Latencies of responses already handed out via `drain_responses`, so
-    // the final report still covers the whole run.
-    drained_latencies: Mutex<Vec<f64>>,
+    // Observations of responses already handed out via `drain_responses`,
+    // so the final report still covers the whole run.
+    drained: Mutex<Vec<RunObservation>>,
+    // Every shed submission, in shed order: sheds are recorded outcomes.
+    shed: Mutex<Vec<ShedRecord>>,
     // Kept so the response channel outlives the workers; dropped in
     // `shutdown` so the final drain terminates.
     _response_tx: Sender<InferenceResponse>,
     next_id: AtomicU64,
+    admitted: AtomicU64,
     started: Instant,
 }
 
@@ -79,22 +116,32 @@ impl Server {
     /// Panics if `config` is invalid (see [`ServeConfig::validate`]).
     pub fn start(session: Arc<InferenceSession>, config: ServeConfig) -> Self {
         config.validate();
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-        let batcher = Arc::new(DynamicBatcher::new(
+        let queue = Arc::new(PriorityQueue::new(config.classes.len(), config.queue_capacity));
+        // One cost-model pricing pass up front; admission control and the
+        // batcher's SLO early-close both schedule against this table.
+        let dwell_model = session.dwell_model(config.max_batch_size);
+        let admission = AdmissionController::new(&config, &dwell_model);
+        let batcher = Arc::new(SloBatcher::new(
             Arc::clone(&queue),
             config.max_batch_size,
             config.max_batch_wait,
+            admission.predicted_execution(),
         ));
         let (tx, rx) = mpsc::channel();
-        let pool = WorkerPool::spawn(Arc::clone(&session), batcher, &config, tx.clone());
+        let pool =
+            WorkerPool::spawn(Arc::clone(&session), batcher, &config, &dwell_model, tx.clone());
         Self {
             session,
             queue,
             pool,
+            admission,
+            classes: config.classes,
             responses: Mutex::new(rx),
-            drained_latencies: Mutex::new(Vec::new()),
+            drained: Mutex::new(Vec::new()),
+            shed: Mutex::new(Vec::new()),
             _response_tx: tx,
             next_id: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -109,20 +156,92 @@ impl Server {
         self.pool.len()
     }
 
-    /// Submits one request, blocking while the queue is full.  Returns the
-    /// assigned request id, or `Err` if the server is shutting down.
+    /// The configured request classes, in priority order.
+    pub fn classes(&self) -> &[ClassPolicy] {
+        &self.classes
+    }
+
+    /// Submits one request of the default class (0), blocking while the
+    /// queue is full — the closed-loop path.  Returns the assigned request
+    /// id, or `Err` if the server is shutting down.
     ///
     /// # Panics
-    /// Panics if the payload length does not match the model's input dim —
-    /// rejecting malformed requests at admission instead of inside a worker.
+    /// Panics if the payload length does not match the model's input dim,
+    /// or if admission control is active (an open-loop server sheds instead
+    /// of blocking — use [`Server::submit_to`]).
     pub fn submit(&self, payload: Vec<f32>) -> Result<u64, ServerClosed> {
+        assert!(
+            !self.admission.is_active(),
+            "blocking submit() is the closed-loop path; with admission control active use submit_to()"
+        );
+        match self.submit_to(0, payload)? {
+            Admission::Admitted(id) => Ok(id),
+            Admission::Shed(_) => unreachable!("inactive admission never sheds"),
+        }
+    }
+
+    /// Submits one request of `class`.  With admission control inactive
+    /// this blocks while the queue is full (backpressure); with it active
+    /// the call never blocks — the request is either queued or *shed*, and
+    /// every shed is recorded in the final report's shed log.  `Err` only
+    /// once shutdown has begun.
+    ///
+    /// # Panics
+    /// Panics if `class` is out of range or the payload length does not
+    /// match the model's input dim — malformed requests are rejected at
+    /// admission instead of inside a worker.
+    pub fn submit_to(&self, class: ClassId, payload: Vec<f32>) -> Result<Admission, ServerClosed> {
+        assert!(class < self.classes.len(), "class {class} out of range");
         assert_eq!(
             payload.len(),
             self.session.input_dim(),
             "request payload length must match the model input dim"
         );
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.queue.push(InferenceRequest::new(id, payload)).map(|()| id).map_err(|_| ServerClosed)
+        let policy = &self.classes[class];
+        if self.admission.is_active() {
+            let (total_depth, depth_ahead) = self.queue.depths(class);
+            if let Some(reason) = self.admission.decide(total_depth, depth_ahead, policy) {
+                return Ok(Admission::Shed(self.record_shed(id, class, reason)));
+            }
+            let request = InferenceRequest::classed(id, payload, class, policy.deadline);
+            return match self.queue.try_push(class, request) {
+                Ok(()) => {
+                    self.admitted.fetch_add(1, Ordering::Relaxed);
+                    Ok(Admission::Admitted(id))
+                }
+                // Raced other producers past the depth check: the queue
+                // itself is the last line of defense; shed, don't block.
+                Err(PushError::Full(_)) => {
+                    Ok(Admission::Shed(self.record_shed(id, class, ShedReason::QueueFull)))
+                }
+                Err(PushError::Closed(_)) => Err(ServerClosed),
+            };
+        }
+        let request = InferenceRequest::classed(id, payload, class, policy.deadline);
+        match self.queue.push(class, request) {
+            Ok(()) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Admission::Admitted(id))
+            }
+            Err(_) => Err(ServerClosed),
+        }
+    }
+
+    fn record_shed(&self, id: u64, class: ClassId, reason: ShedReason) -> ShedRecord {
+        let record = ShedRecord { id, class, reason };
+        self.shed.lock().expect("shed log poisoned").push(record);
+        record
+    }
+
+    /// Number of requests shed so far.
+    pub fn shed_so_far(&self) -> usize {
+        self.shed.lock().expect("shed log poisoned").len()
+    }
+
+    /// Current total queue depth (the admission controller's input).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
     }
 
     /// Non-blocking drain of responses completed so far.  Drained responses
@@ -130,29 +249,64 @@ impl Server {
     pub fn drain_responses(&self) -> Vec<InferenceResponse> {
         let drained: Vec<InferenceResponse> =
             self.responses.lock().expect("response receiver poisoned").try_iter().collect();
-        self.drained_latencies
+        self.drained
             .lock()
-            .expect("latency log poisoned")
-            .extend(drained.iter().map(|r| r.latency.as_secs_f64()));
+            .expect("observation log poisoned")
+            .extend(drained.iter().map(RunObservation::of));
         drained
     }
 
-    /// Stops admission, lets the workers drain the queue, joins them and
+    /// Stops admission, drains in-flight work deterministically, and
     /// returns the whole run's report plus the responses not previously
     /// handed out by [`Server::drain_responses`].
+    ///
+    /// # Ordering guarantee
+    ///
+    /// Shutdown is a strict four-step sequence, so the report is complete
+    /// and reproducible regardless of scheduling:
+    ///
+    /// 1. The queue is **closed**: concurrent and later submissions fail
+    ///    with [`ServerClosed`] (no new ids enter the system).
+    /// 2. The worker pool is **joined**: workers keep popping until the
+    ///    closed queue is drained, so every admitted request's response has
+    ///    been sent before any worker exits.
+    /// 3. The response channel is **drained**: the server's own sender is
+    ///    dropped after the join, so iteration observes every in-flight
+    ///    response, then terminates — it cannot race a straggling worker.
+    /// 4. The **report** is computed over drained + final observations and
+    ///    the shed log.  Every admitted id has exactly one response
+    ///    (asserted), and `completed + shed` equals the number of
+    ///    submissions the server accepted an id for.
     pub fn shutdown(self) -> (ServeReport, Vec<InferenceResponse>) {
+        // Step 1: stop admission; queued items remain poppable.
         self.queue.close();
+        // Step 2: workers drain the queue and exit; all sends happen-before
+        // this join returns.
         let worker_stats = self.pool.join();
-        // Workers are done; hang up our own sender so the drain terminates.
+        // Step 3: hang up our own sender so the drain terminates.
         drop(self._response_tx);
         let receiver = self.responses.into_inner().expect("response receiver poisoned");
         let responses: Vec<InferenceResponse> = receiver.iter().collect();
-        let mut latencies = self.drained_latencies.into_inner().expect("latency log poisoned");
-        latencies.extend(responses.iter().map(|r| r.latency.as_secs_f64()));
+        // Step 4: the report covers the whole run.
+        let mut observations = self.drained.into_inner().expect("observation log poisoned");
+        observations.extend(responses.iter().map(RunObservation::of));
+        let shed = self.shed.into_inner().expect("shed log poisoned");
+        let admitted = self.admitted.load(Ordering::Relaxed) as usize;
+        assert_eq!(
+            observations.len(),
+            admitted,
+            "every admitted request must complete exactly once"
+        );
         let backend_plan =
             self.session.layer_backends().iter().map(|name| name.to_string()).collect();
-        let report = ServeReport::from_latencies(latencies, self.started.elapsed(), worker_stats)
-            .with_backend_plan(backend_plan);
+        let report = ServeReport::from_observations(
+            &observations,
+            &shed,
+            &self.classes,
+            self.started.elapsed(),
+            worker_stats,
+        )
+        .with_backend_plan(backend_plan);
         (report, responses)
     }
 }
@@ -170,8 +324,8 @@ impl std::fmt::Display for ServerClosed {
 impl std::error::Error for ServerClosed {}
 
 /// Closed-loop harness: submit every payload (blocking on backpressure),
-/// then shut down and report.  This is what the serving benchmark and the
-/// example drive.
+/// then shut down and report.  This is what the peak-throughput benchmark
+/// and the example drive.
 pub fn serve_closed_loop(
     session: Arc<InferenceSession>,
     config: ServeConfig,
@@ -184,12 +338,49 @@ pub fn serve_closed_loop(
     server.shutdown()
 }
 
+/// Open-loop harness: replay a `tw-models` traffic schedule on its own
+/// clock — each [`Arrival`] is submitted at its offset from the start of
+/// the run — then shut down and report.  Requests refused by admission
+/// control appear in the report's shed accounting; the submission loop
+/// never blocks on them.
+///
+/// The open-loop contract holds exactly when admission control is active
+/// (submission then never blocks).  With admission *inactive*, a full
+/// queue falls back to blocking backpressure ([`Server::submit_to`]'s
+/// documented behavior), and arrivals behind the stall slip later than
+/// their scheduled offsets — so size `queue_capacity` for the offered
+/// load, or activate admission, when the arrival clock must be honored
+/// under overload.
+///
+/// # Panics
+/// Panics if an arrival's class is outside the configured class list or a
+/// payload does not match the model's input dim.
+pub fn serve_open_loop(
+    session: Arc<InferenceSession>,
+    config: ServeConfig,
+    schedule: &[Arrival],
+) -> (ServeReport, Vec<InferenceResponse>) {
+    let server = Server::start(session, config);
+    let started = Instant::now();
+    for arrival in schedule {
+        let target = started + arrival.at;
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        server
+            .submit_to(arrival.class, arrival.payload.clone())
+            .expect("open-loop submit before shutdown");
+    }
+    server.shutdown()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::time::Duration;
     use tilewise::Backend;
-    use tw_models::RequestGenerator;
+    use tw_models::{RequestGenerator, TrafficSpec};
 
     fn session(backend: Backend) -> Arc<InferenceSession> {
         Arc::new(InferenceSession::synthetic_chain(&[24, 32, 12], 0.5, 8, 17, backend))
@@ -202,6 +393,7 @@ mod tests {
             max_batch_wait: Duration::from_millis(1),
             queue_capacity: 64,
             gpu_dwell: None,
+            ..ServeConfig::default()
         }
     }
 
@@ -212,6 +404,7 @@ mod tests {
         let (report, responses) =
             serve_closed_loop(session(Backend::TileWise), quick_config(2), payloads);
         assert_eq!(report.completed, 100);
+        assert_eq!(report.shed, 0);
         let mut ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..100).collect::<Vec<u64>>());
@@ -220,9 +413,14 @@ mod tests {
         assert!(report.latency.p95_s <= report.latency.p99_s);
         assert!(report.latency.p99_s <= report.latency.max_s);
         assert!(report.throughput_rps() > 0.0);
+        assert_eq!(report.goodput_rps(), report.throughput_rps());
         assert!(report.mean_batch_size() >= 1.0);
         assert_eq!(report.workers.len(), 2);
         assert_eq!(report.backend_plan, vec!["tile-wise", "tile-wise"]);
+        // Default config: one best-effort class holding every completion.
+        assert_eq!(report.classes.len(), 1);
+        assert_eq!(report.classes[0].completed, 100);
+        assert_eq!(report.classes[0].good, 100);
     }
 
     #[test]
@@ -241,6 +439,13 @@ mod tests {
     fn malformed_payload_rejected_at_admission() {
         let server = Server::start(session(Backend::Dense), quick_config(1));
         let _ = server.submit(vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_class_rejected_at_admission() {
+        let server = Server::start(session(Backend::Dense), quick_config(1));
+        let _ = server.submit_to(3, vec![0.0; 24]);
     }
 
     #[test]
@@ -277,6 +482,7 @@ mod tests {
             queue_capacity: 64,
             // Huge scale so the modelled microsecond batches dwell ~ms.
             gpu_dwell: Some(GpuDwell { time_scale: 2e3 }),
+            ..ServeConfig::default()
         };
         let (one, _) =
             serve_closed_loop(session(Backend::TileWise), dwell_cfg(1), payloads.clone());
@@ -289,5 +495,42 @@ mod tests {
             four.wall,
             one.wall
         );
+    }
+
+    #[test]
+    fn overloaded_open_loop_sheds_but_never_loses_ids() {
+        // A tiny shed threshold under a fast schedule: many submissions
+        // must shed, and completed + shed must cover every issued id.
+        let spec = TrafficSpec::steady(4000.0, Duration::from_millis(30), 200, 24, 3);
+        let schedule = spec.schedule();
+        let config = ServeConfig {
+            workers: 1,
+            max_batch_size: 4,
+            max_batch_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+            gpu_dwell: Some(GpuDwell { time_scale: 5e3 }),
+            admission: AdmissionConfig { max_queue_depth: Some(8), ..Default::default() },
+            ..ServeConfig::default()
+        }
+        .with_traffic_classes(&spec.classes);
+        let (report, responses) = serve_open_loop(session(Backend::TileWise), config, &schedule);
+        assert_eq!(report.completed + report.shed, 200, "no submission may vanish");
+        assert!(report.shed > 0, "overload must shed under a depth bound of 8");
+        assert!(report.completed > 0, "admitted requests must still be served");
+        assert_eq!(responses.len(), report.completed);
+        assert!(report.shed_rate() > 0.0);
+        let by_class: usize = report.classes.iter().map(|c| c.submitted()).sum();
+        assert_eq!(by_class, 200, "per-class breakdown covers the whole run");
+    }
+
+    #[test]
+    #[should_panic(expected = "closed-loop path")]
+    fn blocking_submit_rejected_under_admission_control() {
+        let config = ServeConfig {
+            admission: AdmissionConfig { max_queue_depth: Some(32), ..Default::default() },
+            ..quick_config(1)
+        };
+        let server = Server::start(session(Backend::Dense), config);
+        let _ = server.submit(vec![0.0; 24]);
     }
 }

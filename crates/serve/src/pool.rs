@@ -1,6 +1,6 @@
 //! The worker pool: threads that turn batches into responses.
 //!
-//! Each worker loops on the shared [`DynamicBatcher`], fuses the batch's
+//! Each worker loops on the shared [`SloBatcher`], fuses the batch's
 //! payloads into one activation matrix (via `tw_tensor::batch`), runs the
 //! session's batched forward pass on the CPU — each layer through whatever
 //! [`tilewise::KernelBackend`] its plan bound, heterogeneous plans included
@@ -8,17 +8,20 @@
 //! from the GPU cost model, exactly as a real worker blocks on an
 //! accelerator.  The dwell is why a pool helps even on a small host: while
 //! one worker waits on the "device", another batches and launches.
+//!
+//! Completion stamps each response with its request's class and — for SLO
+//! classes — whether it beat its deadline, feeding the per-class goodput
+//! accounting in [`crate::ServeReport`].
 
-use crate::batcher::DynamicBatcher;
+use crate::batcher::SloBatcher;
 use crate::config::ServeConfig;
-use crate::request::{InferenceRequest, InferenceResponse};
+use crate::request::InferenceResponse;
 use crate::stats::WorkerStats;
-use std::collections::HashMap;
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tilewise::InferenceSession;
+use tilewise::{DwellModel, InferenceSession};
 use tw_tensor::batch::stack_rows;
 
 /// Handle over the pool's threads; joined at shutdown.
@@ -27,14 +30,17 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `config.workers` threads draining `batcher` into `responses`.
+    /// Spawns `config.workers` threads draining `batcher` into `responses`,
+    /// pricing each batch's simulated device time from `dwell_model` (the
+    /// same memoized table admission control and the batcher use).
     ///
     /// Worker threads exit when the batcher's queue is closed and drained;
     /// they stop sending silently if the response receiver is dropped early.
     pub fn spawn(
         session: Arc<InferenceSession>,
-        batcher: Arc<DynamicBatcher<InferenceRequest>>,
+        batcher: Arc<SloBatcher>,
         config: &ServeConfig,
+        dwell_model: &DwellModel,
         responses: Sender<InferenceResponse>,
     ) -> Self {
         let handles = (0..config.workers)
@@ -43,9 +49,12 @@ impl WorkerPool {
                 let batcher = Arc::clone(&batcher);
                 let responses = responses.clone();
                 let dwell = config.gpu_dwell;
+                let dwell_model = dwell_model.clone();
                 std::thread::Builder::new()
                     .name(format!("tw-serve-worker-{worker}"))
-                    .spawn(move || run_worker(worker, &session, &batcher, dwell, &responses))
+                    .spawn(move || {
+                        run_worker(worker, &session, &batcher, dwell, &dwell_model, &responses)
+                    })
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -71,14 +80,12 @@ impl WorkerPool {
 fn run_worker(
     worker: usize,
     session: &InferenceSession,
-    batcher: &DynamicBatcher<InferenceRequest>,
+    batcher: &SloBatcher,
     dwell: Option<crate::config::GpuDwell>,
+    dwell_model: &DwellModel,
     responses: &Sender<InferenceResponse>,
 ) -> WorkerStats {
     let mut stats = WorkerStats { worker, ..WorkerStats::default() };
-    // The simulated device time depends only on batch size; memoize the
-    // planner pricing so the hot loop stays cheap.
-    let mut priced: HashMap<usize, f64> = HashMap::new();
 
     while let Some(batch) = batcher.next_batch() {
         let cpu_start = Instant::now();
@@ -87,9 +94,9 @@ fn run_worker(
         let outputs = session.forward_batch(&inputs);
         stats.cpu_busy += cpu_start.elapsed();
 
-        let sim_s = *priced
-            .entry(batch.len())
-            .or_insert_with(|| session.simulated_batch_seconds(batch.len()));
+        // The simulated device time depends only on batch size; the shared
+        // table keeps the planner out of the hot loop.
+        let sim_s = dwell_model.seconds_for(batch.len());
         stats.sim_gpu_s += sim_s;
         if let Some(dwell) = dwell {
             let wait = sim_s * dwell.time_scale;
@@ -101,13 +108,16 @@ fn run_worker(
         stats.batches += 1;
         stats.requests += batch.len();
         let batch_size = batch.len();
+        let completed_at = Instant::now();
         for (i, request) in batch.into_iter().enumerate() {
             let response = InferenceResponse {
                 id: request.id,
                 output: outputs.row(i).to_vec(),
-                latency: request.submitted_at.elapsed(),
+                latency: completed_at.saturating_duration_since(request.submitted_at),
                 batch_size,
                 worker,
+                class: request.class,
+                deadline_met: request.deadline.map(|d| completed_at <= d),
             };
             if responses.send(response).is_err() {
                 // Receiver dropped: the server is being torn down early;
@@ -122,7 +132,9 @@ fn run_worker(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::queue::BoundedQueue;
+    use crate::queue::PriorityQueue;
+    use crate::request::InferenceRequest;
+    use std::collections::HashMap;
     use std::sync::mpsc;
     use tilewise::Backend;
 
@@ -133,11 +145,10 @@ mod tests {
     fn spawn_pool(
         workers: usize,
         capacity: usize,
-    ) -> (Arc<DynamicBatcher<InferenceRequest>>, WorkerPool, mpsc::Receiver<InferenceResponse>)
-    {
+    ) -> (Arc<SloBatcher>, WorkerPool, mpsc::Receiver<InferenceResponse>) {
         let session = tiny_session();
-        let queue = Arc::new(BoundedQueue::new(capacity));
-        let batcher = Arc::new(DynamicBatcher::new(queue, 4, Duration::from_millis(2)));
+        let queue = Arc::new(PriorityQueue::new(2, capacity));
+        let batcher = Arc::new(SloBatcher::new(queue, 4, Duration::from_millis(2), Duration::ZERO));
         let (tx, rx) = mpsc::channel();
         let config = ServeConfig {
             workers,
@@ -145,7 +156,8 @@ mod tests {
             queue_capacity: capacity,
             ..ServeConfig::default()
         };
-        let pool = WorkerPool::spawn(session, Arc::clone(&batcher), &config, tx);
+        let dwell_model = session.dwell_model(4);
+        let pool = WorkerPool::spawn(session, Arc::clone(&batcher), &config, &dwell_model, tx);
         (batcher, pool, rx)
     }
 
@@ -153,7 +165,7 @@ mod tests {
     fn workers_complete_all_requests_and_exit_on_close() {
         let (batcher, pool, rx) = spawn_pool(2, 64);
         for id in 0..20 {
-            batcher.queue().push(InferenceRequest::new(id, vec![0.1; 24])).unwrap();
+            batcher.queue().push(0, InferenceRequest::new(id, vec![0.1; 24])).unwrap();
         }
         batcher.queue().close();
         let stats = pool.join();
@@ -164,6 +176,7 @@ mod tests {
         assert_eq!(ids, (0..20).collect::<Vec<u64>>());
         assert!(responses.iter().all(|r| r.output.len() == 16));
         assert!(responses.iter().all(|r| r.batch_size >= 1 && r.batch_size <= 4));
+        assert!(responses.iter().all(|r| r.class == 0 && r.deadline_met.is_none()));
         assert_eq!(stats.iter().map(|s| s.requests).sum::<usize>(), 20);
         assert_eq!(
             stats.iter().map(|s| s.batches).sum::<usize>(),
@@ -177,7 +190,7 @@ mod tests {
         let session = tiny_session();
         let (batcher, pool, rx) = spawn_pool(1, 16);
         let payload: Vec<f32> = (0..24).map(|i| (i as f32) * 0.05 - 0.5).collect();
-        batcher.queue().push(InferenceRequest::new(1, payload.clone())).unwrap();
+        batcher.queue().push(0, InferenceRequest::new(1, payload.clone())).unwrap();
         batcher.queue().close();
         pool.join();
         let response = rx.try_iter().next().expect("one response");
@@ -186,6 +199,26 @@ mod tests {
         for (a, b) in response.output.iter().zip(&expected) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn responses_report_deadline_outcomes() {
+        let (batcher, pool, rx) = spawn_pool(1, 16);
+        // A generous SLO that completes in time, and one that already
+        // expired at submission.
+        let roomy = InferenceRequest::classed(1, vec![0.1; 24], 0, Some(Duration::from_secs(60)));
+        let expired = InferenceRequest::classed(2, vec![0.1; 24], 1, Some(Duration::ZERO));
+        batcher.queue().push(0, roomy).unwrap();
+        batcher.queue().push(1, expired).unwrap();
+        batcher.queue().close();
+        pool.join();
+        let responses: Vec<InferenceResponse> = rx.try_iter().collect();
+        assert_eq!(responses.len(), 2);
+        let by_id: HashMap<u64, &InferenceResponse> = responses.iter().map(|r| (r.id, r)).collect();
+        assert_eq!(by_id[&1].deadline_met, Some(true));
+        assert_eq!(by_id[&1].class, 0);
+        assert_eq!(by_id[&2].deadline_met, Some(false));
+        assert_eq!(by_id[&2].class, 1);
     }
 
     #[test]

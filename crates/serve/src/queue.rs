@@ -1,11 +1,24 @@
-//! A bounded, closable MPMC queue — the admission path of the server.
+//! A bounded, closable, priority-aware MPMC queue — the admission path.
 //!
 //! `std::sync::mpsc` channels are single-consumer and unbounded (or
 //! rendezvous when bounded), neither of which fits a serving queue: many
 //! workers pop concurrently, submitters must feel backpressure when the
 //! system is saturated, and shutdown must let workers drain what is already
-//! queued.  This queue is a `Mutex<VecDeque>` with two condvars (not-empty /
-//! not-full) and a closed flag.
+//! queued.  On top of that, an SLO-aware server cannot serve one FIFO: an
+//! interactive request arriving behind a wall of batch work would inherit
+//! the whole backlog's wait.  [`PriorityQueue`] therefore keeps one FIFO
+//! *lane per class* under a single capacity bound: pops always drain the
+//! highest-priority non-empty lane (strict priority — lane 0 first), FIFO
+//! within a lane.  A one-lane queue degenerates to exactly the plain
+//! bounded FIFO it replaced.
+//!
+//! Strict priority means sustained interactive overload can starve batch
+//! lanes; that is the intended SLO trade and is bounded in practice by the
+//! admission controller shedding load before the queue wedges.
+//!
+//! Producers choose per push: [`PriorityQueue::push`] blocks while full
+//! (closed-loop backpressure), [`PriorityQueue::try_push`] refuses instead
+//! (the open-loop admission path, which must never block the arrival clock).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -22,44 +35,66 @@ pub enum Pop<T> {
     Closed,
 }
 
+/// Why a [`PriorityQueue::try_push`] was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was at capacity; the item is handed back.
+    Full(T),
+    /// The queue is closed; the item is handed back.
+    Closed(T),
+}
+
 struct State<T> {
-    items: VecDeque<T>,
+    lanes: Vec<VecDeque<T>>,
+    len: usize,
     closed: bool,
 }
 
-/// A bounded multi-producer multi-consumer queue with close semantics.
-pub struct BoundedQueue<T> {
+/// A bounded multi-producer multi-consumer priority queue with close
+/// semantics.  See the module docs for the scheduling discipline.
+pub struct PriorityQueue<T> {
     state: Mutex<State<T>>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
 }
 
-impl<T> BoundedQueue<T> {
-    /// A queue holding at most `capacity` items.
+impl<T> PriorityQueue<T> {
+    /// A queue with `lanes` priority lanes holding at most `capacity` items
+    /// in total.
     ///
     /// # Panics
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
+    /// Panics if `capacity` or `lanes` is zero.
+    pub fn new(lanes: usize, capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
+        assert!(lanes > 0, "queue needs at least one priority lane");
         Self {
-            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            state: Mutex::new(State {
+                lanes: (0..lanes).map(|_| VecDeque::new()).collect(),
+                len: 0,
+                closed: false,
+            }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
         }
     }
 
-    /// Enqueues `item`, blocking while the queue is full.  Returns the item
-    /// back as `Err` if the queue has been closed.
-    pub fn push(&self, item: T) -> Result<(), T> {
+    /// Enqueues `item` on `lane`, blocking while the queue is full.  Returns
+    /// the item back as `Err` if the queue has been closed.
+    ///
+    /// # Panics
+    /// Panics if `lane` is out of range.
+    pub fn push(&self, lane: usize, item: T) -> Result<(), T> {
         let mut state = self.state.lock().expect("queue lock poisoned");
+        assert!(lane < state.lanes.len(), "lane {lane} out of range");
         loop {
             if state.closed {
                 return Err(item);
             }
-            if state.items.len() < self.capacity {
-                state.items.push_back(item);
+            if state.len < self.capacity {
+                state.lanes[lane].push_back(item);
+                state.len += 1;
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -67,10 +102,41 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Dequeues immediately if an item is available.
+    /// Non-blocking enqueue: refuses (handing the item back) instead of
+    /// blocking when the queue is full — the open-loop admission path.
+    ///
+    /// # Panics
+    /// Panics if `lane` is out of range.
+    pub fn try_push(&self, lane: usize, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        assert!(lane < state.lanes.len(), "lane {lane} out of range");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.len >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.lanes[lane].push_back(item);
+        state.len += 1;
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    fn pop_front(state: &mut State<T>) -> Option<T> {
+        for lane in &mut state.lanes {
+            if let Some(item) = lane.pop_front() {
+                state.len -= 1;
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Dequeues from the highest-priority non-empty lane, immediately if an
+    /// item is available.
     pub fn try_pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("queue lock poisoned");
-        let item = state.items.pop_front();
+        let item = Self::pop_front(&mut state);
         if item.is_some() {
             self.not_full.notify_one();
         }
@@ -83,7 +149,7 @@ impl<T> BoundedQueue<T> {
         let deadline = Instant::now() + timeout;
         let mut state = self.state.lock().expect("queue lock poisoned");
         loop {
-            if let Some(item) = state.items.pop_front() {
+            if let Some(item) = Self::pop_front(&mut state) {
                 self.not_full.notify_one();
                 return Pop::Item(item);
             }
@@ -97,7 +163,7 @@ impl<T> BoundedQueue<T> {
             let (next, timed_out) =
                 self.not_empty.wait_timeout(state, deadline - now).expect("queue lock poisoned");
             state = next;
-            if timed_out.timed_out() && state.items.is_empty() && !state.closed {
+            if timed_out.timed_out() && state.len == 0 && !state.closed {
                 return Pop::TimedOut;
             }
         }
@@ -112,14 +178,36 @@ impl<T> BoundedQueue<T> {
         self.not_full.notify_all();
     }
 
-    /// Whether [`BoundedQueue::close`] has been called.
+    /// Whether [`PriorityQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
         self.state.lock().expect("queue lock poisoned").closed
     }
 
-    /// Number of queued items right now.
+    /// Number of queued items right now, across all lanes.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").items.len()
+        self.state.lock().expect("queue lock poisoned").len
+    }
+
+    /// Number of items queued in one lane right now.
+    ///
+    /// # Panics
+    /// Panics if `lane` is out of range.
+    pub fn lane_len(&self, lane: usize) -> usize {
+        self.state.lock().expect("queue lock poisoned").lanes[lane].len()
+    }
+
+    /// `(total depth, depth through lane)` under one lock: the second
+    /// component counts items in lanes `0..=lane` — the backlog served
+    /// *before* a new arrival on `lane`, which is what wait prediction
+    /// needs under strict priority.
+    ///
+    /// # Panics
+    /// Panics if `lane` is out of range.
+    pub fn depths(&self, lane: usize) -> (usize, usize) {
+        let state = self.state.lock().expect("queue lock poisoned");
+        assert!(lane < state.lanes.len(), "lane {lane} out of range");
+        let through = state.lanes[..=lane].iter().map(VecDeque::len).sum();
+        (state.len, through)
     }
 
     /// Whether the queue is currently empty.
@@ -127,7 +215,12 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
-    /// Maximum number of queued items.
+    /// Number of priority lanes.
+    pub fn lanes(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").lanes.len()
+    }
+
+    /// Maximum number of queued items across all lanes.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -138,11 +231,15 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    fn fifo(capacity: usize) -> PriorityQueue<u64> {
+        PriorityQueue::new(1, capacity)
+    }
+
     #[test]
-    fn fifo_order() {
-        let q = BoundedQueue::new(8);
+    fn single_lane_is_fifo() {
+        let q = fifo(8);
         for i in 0..5 {
-            q.push(i).unwrap();
+            q.push(0, i).unwrap();
         }
         for i in 0..5 {
             assert_eq!(q.try_pop(), Some(i));
@@ -151,8 +248,55 @@ mod tests {
     }
 
     #[test]
+    fn pops_prefer_the_highest_priority_lane() {
+        let q = PriorityQueue::new(3, 16);
+        q.push(2, 20).unwrap();
+        q.push(1, 10).unwrap();
+        q.push(2, 21).unwrap();
+        q.push(0, 0).unwrap();
+        q.push(1, 11).unwrap();
+        // Lane 0 first, then lane 1 FIFO, then lane 2 FIFO.
+        let drained: Vec<u64> = std::iter::from_fn(|| q.try_pop()).collect();
+        assert_eq!(drained, vec![0, 10, 11, 20, 21]);
+        assert_eq!(q.lanes(), 3);
+    }
+
+    #[test]
+    fn late_high_priority_overtakes_queued_low_priority() {
+        let q = PriorityQueue::new(2, 16);
+        for i in 0..4 {
+            q.push(1, 100 + i).unwrap();
+        }
+        q.push(0, 1).unwrap();
+        assert_eq!(q.depths(0), (5, 1), "one item is ahead of a new lane-0 arrival");
+        assert_eq!(q.depths(1), (5, 5), "everything is ahead of a new lane-1 arrival");
+        assert_eq!(q.try_pop(), Some(1), "interactive must jump the batch backlog");
+        assert_eq!(q.lane_len(1), 4);
+    }
+
+    #[test]
+    fn try_push_refuses_when_full_and_after_close() {
+        let q = fifo(2);
+        q.try_push(0, 1).unwrap();
+        q.try_push(0, 2).unwrap();
+        assert_eq!(q.try_push(0, 3), Err(PushError::Full(3)));
+        q.close();
+        assert_eq!(q.try_push(0, 4), Err(PushError::Closed(4)));
+    }
+
+    #[test]
+    fn capacity_is_shared_across_lanes() {
+        let q = PriorityQueue::new(2, 2);
+        q.try_push(1, 10).unwrap();
+        q.try_push(1, 11).unwrap();
+        // The high-priority lane is empty but the *queue* is full.
+        assert_eq!(q.try_push(0, 0), Err(PushError::Full(0)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
     fn pop_timeout_times_out_when_empty() {
-        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let q = fifo(4);
         let start = Instant::now();
         assert_eq!(q.pop_timeout(Duration::from_millis(20)), Pop::TimedOut);
         assert!(start.elapsed() >= Duration::from_millis(20));
@@ -160,11 +304,11 @@ mod tests {
 
     #[test]
     fn close_drains_then_reports_closed() {
-        let q = BoundedQueue::new(4);
-        q.push(1).unwrap();
-        q.push(2).unwrap();
+        let q = fifo(4);
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
         q.close();
-        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.push(0, 3), Err(3));
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item(1));
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item(2));
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Closed);
@@ -172,14 +316,14 @@ mod tests {
 
     #[test]
     fn full_queue_blocks_until_a_pop() {
-        let q = Arc::new(BoundedQueue::new(2));
-        q.push(1).unwrap();
-        q.push(2).unwrap();
+        let q = Arc::new(fifo(2));
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
         let producer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || {
                 let start = Instant::now();
-                q.push(3).unwrap();
+                q.push(0, 3).unwrap();
                 start.elapsed()
             })
         };
@@ -195,7 +339,7 @@ mod tests {
 
     #[test]
     fn close_wakes_blocked_poppers() {
-        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(2));
+        let q: Arc<PriorityQueue<u32>> = Arc::new(PriorityQueue::new(1, 2));
         let popper = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.pop_timeout(Duration::from_secs(30)))
@@ -207,13 +351,13 @@ mod tests {
 
     #[test]
     fn concurrent_producers_and_consumers_conserve_items() {
-        let q = Arc::new(BoundedQueue::new(16));
+        let q = Arc::new(PriorityQueue::new(2, 16));
         let producers: Vec<_> = (0..4)
             .map(|p| {
                 let q = Arc::clone(&q);
                 std::thread::spawn(move || {
                     for i in 0..100u64 {
-                        q.push(p * 1000 + i).unwrap();
+                        q.push((p % 2) as usize, p * 1000 + i).unwrap();
                     }
                 })
             })
@@ -249,6 +393,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
-        let _: BoundedQueue<u8> = BoundedQueue::new(0);
+        let _: PriorityQueue<u8> = PriorityQueue::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one priority lane")]
+    fn zero_lanes_rejected() {
+        let _: PriorityQueue<u8> = PriorityQueue::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_lane_rejected() {
+        let q = fifo(4);
+        let _ = q.push(1, 9);
     }
 }

@@ -2,6 +2,9 @@
 
 use std::time::{Duration, Instant};
 
+/// Index into the server's configured class list (`0` = highest priority).
+pub type ClassId = usize;
+
 /// One inference request: a payload vector plus submission bookkeeping.
 #[derive(Clone, Debug)]
 pub struct InferenceRequest {
@@ -11,12 +14,23 @@ pub struct InferenceRequest {
     pub payload: Vec<f32>,
     /// When the request entered the server (starts the latency clock).
     pub submitted_at: Instant,
+    /// Request class (priority lane + SLO policy).
+    pub class: ClassId,
+    /// Absolute completion deadline derived from the class SLO; `None` =
+    /// best effort.
+    pub deadline: Option<Instant>,
 }
 
 impl InferenceRequest {
-    /// A request submitted now.
+    /// A best-effort request of the default class, submitted now.
     pub fn new(id: u64, payload: Vec<f32>) -> Self {
-        Self { id, payload, submitted_at: Instant::now() }
+        Self::classed(id, payload, 0, None)
+    }
+
+    /// A request of `class`, submitted now, due `slo` from now (if any).
+    pub fn classed(id: u64, payload: Vec<f32>, class: ClassId, slo: Option<Duration>) -> Self {
+        let submitted_at = Instant::now();
+        Self { id, payload, submitted_at, class, deadline: slo.map(|d| submitted_at + d) }
     }
 }
 
@@ -33,6 +47,45 @@ pub struct InferenceResponse {
     pub batch_size: usize,
     /// Index of the worker that executed the batch.
     pub worker: usize,
+    /// Class of the originating request.
+    pub class: ClassId,
+    /// Whether the response beat its deadline; `None` for classes without
+    /// an SLO.
+    pub deadline_met: Option<bool>,
+}
+
+/// Why the admission controller refused a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Queue depth reached the configured shed threshold (or the queue was
+    /// full while admission control was active).
+    QueueFull,
+    /// Predicted queue wait exceeded the configured budget.
+    WaitBudget,
+    /// Predicted wait plus batch execution could not meet the class SLO.
+    Deadline,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "queue depth over shed threshold"),
+            ShedReason::WaitBudget => write!(f, "predicted wait over budget"),
+            ShedReason::Deadline => write!(f, "deadline unmeetable at admission"),
+        }
+    }
+}
+
+/// Record of one shed request — sheds are first-class outcomes, never
+/// silent: every submitted id ends up completed or in the shed log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShedRecord {
+    /// Id the request would have served under.
+    pub id: u64,
+    /// Class of the shed request.
+    pub class: ClassId,
+    /// Why it was refused.
+    pub reason: ShedReason,
 }
 
 #[cfg(test)]
@@ -45,7 +98,18 @@ mod tests {
         let req = InferenceRequest::new(7, vec![1.0, 2.0]);
         assert_eq!(req.id, 7);
         assert_eq!(req.payload.len(), 2);
+        assert_eq!(req.class, 0);
+        assert_eq!(req.deadline, None);
         assert!(req.submitted_at >= before);
         assert!(req.submitted_at.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn classed_request_derives_absolute_deadline() {
+        let slo = Duration::from_millis(40);
+        let req = InferenceRequest::classed(3, vec![0.0], 1, Some(slo));
+        assert_eq!(req.class, 1);
+        let deadline = req.deadline.expect("slo => deadline");
+        assert_eq!(deadline, req.submitted_at + slo);
     }
 }

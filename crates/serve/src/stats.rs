@@ -1,6 +1,7 @@
-//! Latency and throughput accounting.
+//! Latency, throughput, goodput and shed accounting — overall and per class.
 
-use crate::request::InferenceResponse;
+use crate::config::ClassPolicy;
+use crate::request::{InferenceResponse, ShedRecord};
 use std::time::Duration;
 
 /// Order statistics over a set of request latencies.
@@ -67,15 +68,88 @@ pub struct WorkerStats {
     pub sim_gpu_s: f64,
 }
 
+/// One completed request's contribution to the report: its class, latency,
+/// and whether it beat its deadline.  The server keeps these (not whole
+/// responses) for results already streamed out mid-run, so the final report
+/// still covers the entire run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunObservation {
+    /// Class of the completed request.
+    pub class: usize,
+    /// Submission-to-completion latency in seconds.
+    pub latency_s: f64,
+    /// Deadline outcome (`None` for classes without an SLO).
+    pub deadline_met: Option<bool>,
+}
+
+impl RunObservation {
+    /// The observation a response contributes.
+    pub fn of(response: &InferenceResponse) -> Self {
+        Self {
+            class: response.class,
+            latency_s: response.latency.as_secs_f64(),
+            deadline_met: response.deadline_met,
+        }
+    }
+}
+
+/// Per-class outcome breakdown.
+#[derive(Clone, Debug)]
+pub struct ClassStats {
+    /// Class id (index into the server's class list = priority).
+    pub class: usize,
+    /// Class name from the [`ClassPolicy`].
+    pub name: String,
+    /// Requests of this class completed.
+    pub completed: usize,
+    /// Requests of this class refused by admission control.
+    pub shed: usize,
+    /// Completions that count toward goodput: within the class SLO, or any
+    /// completion for a class without one.
+    pub good: usize,
+    /// Latency order statistics over this class's completions.
+    pub latency: LatencySummary,
+}
+
+impl ClassStats {
+    /// Requests of this class that entered the server (completed + shed).
+    pub fn submitted(&self) -> usize {
+        self.completed + self.shed
+    }
+
+    /// Fraction of this class's submissions that were shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted() == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.submitted() as f64
+    }
+
+    /// Fraction of completions that beat the SLO (1.0 for best-effort
+    /// classes).
+    pub fn hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.good as f64 / self.completed as f64
+    }
+}
+
 /// The outcome of one serving run.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
     /// Requests completed.
     pub completed: usize,
+    /// Requests refused by admission control (every shed is recorded; none
+    /// are silently dropped).
+    pub shed: usize,
     /// Wall-clock span from server start to shutdown.
     pub wall: Duration,
-    /// Latency order statistics.
+    /// Latency order statistics over all completions.
     pub latency: LatencySummary,
+    /// Per-class breakdowns, in class (= priority) order.  Empty for
+    /// reports built from bare latency samples.
+    pub classes: Vec<ClassStats>,
     /// Total batches executed across workers.
     pub batches: usize,
     /// Per-worker counters.
@@ -94,9 +168,8 @@ impl ServeReport {
         Self::from_latencies(samples, wall, workers)
     }
 
-    /// Builds a report from raw latency samples (seconds) and worker
-    /// counters — the form the server uses so responses already streamed
-    /// out via `drain_responses` stay accounted for.
+    /// Builds a class-blind report from raw latency samples (seconds) and
+    /// worker counters.
     pub fn from_latencies(
         latencies_s: Vec<f64>,
         wall: Duration,
@@ -106,13 +179,52 @@ impl ServeReport {
         let sim_gpu_s = workers.iter().map(|w| w.sim_gpu_s).sum();
         Self {
             completed: latencies_s.len(),
+            shed: 0,
             wall,
             latency: LatencySummary::from_samples(latencies_s),
+            classes: Vec::new(),
             batches,
             workers,
             sim_gpu_s,
             backend_plan: Vec::new(),
         }
+    }
+
+    /// Builds the full per-class report the server emits: one observation
+    /// per completion (streamed-out or final), the shed log, and the class
+    /// policies for naming.
+    pub fn from_observations(
+        observations: &[RunObservation],
+        shed: &[ShedRecord],
+        classes: &[ClassPolicy],
+        wall: Duration,
+        workers: Vec<WorkerStats>,
+    ) -> Self {
+        let class_stats: Vec<ClassStats> = classes
+            .iter()
+            .enumerate()
+            .map(|(id, policy)| {
+                let samples: Vec<f64> =
+                    observations.iter().filter(|o| o.class == id).map(|o| o.latency_s).collect();
+                let good = observations
+                    .iter()
+                    .filter(|o| o.class == id && o.deadline_met != Some(false))
+                    .count();
+                ClassStats {
+                    class: id,
+                    name: policy.name.clone(),
+                    completed: samples.len(),
+                    shed: shed.iter().filter(|s| s.class == id).count(),
+                    good,
+                    latency: LatencySummary::from_samples(samples),
+                }
+            })
+            .collect();
+        let all: Vec<f64> = observations.iter().map(|o| o.latency_s).collect();
+        let mut report = Self::from_latencies(all, wall, workers);
+        report.shed = shed.len();
+        report.classes = class_stats;
+        report
     }
 
     /// Attaches the served model's per-layer backend plan to the report.
@@ -123,11 +235,26 @@ impl ServeReport {
 
     /// Completed requests per wall-clock second.
     pub fn throughput_rps(&self) -> f64 {
-        let secs = self.wall.as_secs_f64();
-        if secs <= 0.0 {
+        per_second(self.completed, self.wall)
+    }
+
+    /// *Useful* completions per wall-clock second: completions within their
+    /// class SLO (best-effort completions all count).  Equals throughput
+    /// for class-blind reports.
+    pub fn goodput_rps(&self) -> f64 {
+        if self.classes.is_empty() {
+            return self.throughput_rps();
+        }
+        per_second(self.classes.iter().map(|c| c.good).sum(), self.wall)
+    }
+
+    /// Fraction of submissions (completed + shed) refused by admission.
+    pub fn shed_rate(&self) -> f64 {
+        let submitted = self.completed + self.shed;
+        if submitted == 0 {
             return 0.0;
         }
-        self.completed as f64 / secs
+        self.shed as f64 / submitted as f64
     }
 
     /// Mean number of requests fused per batch.
@@ -145,11 +272,17 @@ impl ServeReport {
         } else {
             format!(" | plan [{}]", self.backend_plan.join(","))
         };
+        let shed = if self.shed > 0 {
+            format!(" | shed {} ({:.1}%)", self.shed, self.shed_rate() * 100.0)
+        } else {
+            String::new()
+        };
         format!(
-            "{} requests in {:.3}s | {:.1} req/s | batch x̄ {:.2} | latency p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | sim-GPU {:.3}s{plan}",
+            "{} requests in {:.3}s | {:.1} req/s ({:.1} good) | batch x̄ {:.2} | latency p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | sim-GPU {:.3}s{shed}{plan}",
             self.completed,
             self.wall.as_secs_f64(),
             self.throughput_rps(),
+            self.goodput_rps(),
             self.mean_batch_size(),
             self.latency.p50_s * 1e3,
             self.latency.p95_s * 1e3,
@@ -157,11 +290,41 @@ impl ServeReport {
             self.sim_gpu_s,
         )
     }
+
+    /// One line per class: completions, sheds, SLO hit rate and latency
+    /// percentiles — the per-class view the scenario benchmarks print.
+    pub fn class_summary(&self) -> Vec<String> {
+        self.classes
+            .iter()
+            .map(|c| {
+                format!(
+                    "class {} ({}): {} completed, {} shed ({:.1}%), hit rate {:.1}% | p50 {:.2}ms p99 {:.2}ms",
+                    c.class,
+                    c.name,
+                    c.completed,
+                    c.shed,
+                    c.shed_rate() * 100.0,
+                    c.hit_rate() * 100.0,
+                    c.latency.p50_s * 1e3,
+                    c.latency.p99_s * 1e3,
+                )
+            })
+            .collect()
+    }
+}
+
+fn per_second(count: usize, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    count as f64 / secs
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::ShedReason;
 
     #[test]
     fn percentiles_on_known_distribution() {
@@ -198,6 +361,8 @@ mod tests {
                 latency: Duration::from_millis(10 + i),
                 batch_size: 5,
                 worker: (i % 2) as usize,
+                class: 0,
+                deadline_met: None,
             })
             .collect();
         let workers = vec![
@@ -222,8 +387,78 @@ mod tests {
         assert!(report.summary().contains("plan [tile-wise,csr]"));
         assert_eq!(report.batches, 2);
         assert!((report.throughput_rps() - 5.0).abs() < 1e-12);
+        // Class-blind report: goodput falls back to throughput.
+        assert_eq!(report.goodput_rps(), report.throughput_rps());
         assert!((report.mean_batch_size() - 5.0).abs() < 1e-12);
         assert!((report.sim_gpu_s - 0.75).abs() < 1e-12);
         assert!(report.summary().contains("req/s"));
+    }
+
+    #[test]
+    fn per_class_breakdown_splits_goodput_and_sheds() {
+        let classes = vec![
+            ClassPolicy::with_deadline("interactive", Duration::from_millis(50)),
+            ClassPolicy::best_effort("batch"),
+        ];
+        let observations = vec![
+            RunObservation { class: 0, latency_s: 0.010, deadline_met: Some(true) },
+            RunObservation { class: 0, latency_s: 0.080, deadline_met: Some(false) },
+            RunObservation { class: 1, latency_s: 0.200, deadline_met: None },
+            RunObservation { class: 1, latency_s: 0.400, deadline_met: None },
+        ];
+        let shed = vec![
+            ShedRecord { id: 10, class: 0, reason: ShedReason::Deadline },
+            ShedRecord { id: 11, class: 1, reason: ShedReason::QueueFull },
+            ShedRecord { id: 12, class: 1, reason: ShedReason::QueueFull },
+        ];
+        let report = ServeReport::from_observations(
+            &observations,
+            &shed,
+            &classes,
+            Duration::from_secs(1),
+            Vec::new(),
+        );
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.shed, 3);
+        assert!((report.shed_rate() - 3.0 / 7.0).abs() < 1e-12);
+        // Goodput: 1 interactive hit + 2 best-effort completions.
+        assert!((report.goodput_rps() - 3.0).abs() < 1e-12);
+        assert!((report.throughput_rps() - 4.0).abs() < 1e-12);
+
+        let interactive = &report.classes[0];
+        assert_eq!(interactive.name, "interactive");
+        assert_eq!(interactive.completed, 2);
+        assert_eq!(interactive.shed, 1);
+        assert_eq!(interactive.good, 1);
+        assert!((interactive.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((interactive.shed_rate() - 1.0 / 3.0).abs() < 1e-12);
+
+        let batch = &report.classes[1];
+        assert_eq!(batch.completed, 2);
+        assert_eq!(batch.shed, 2);
+        assert_eq!(batch.good, 2, "best-effort completions all count as good");
+        assert!(batch.latency.p99_s >= interactive.latency.p99_s);
+
+        let lines = report.class_summary();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("interactive"));
+        assert!(report.summary().contains("shed 3"));
+    }
+
+    #[test]
+    fn observation_of_response_carries_class_and_outcome() {
+        let response = InferenceResponse {
+            id: 1,
+            output: Vec::new(),
+            latency: Duration::from_millis(30),
+            batch_size: 4,
+            worker: 0,
+            class: 1,
+            deadline_met: Some(true),
+        };
+        let obs = RunObservation::of(&response);
+        assert_eq!(obs.class, 1);
+        assert_eq!(obs.deadline_met, Some(true));
+        assert!((obs.latency_s - 0.030).abs() < 1e-9);
     }
 }

@@ -5,9 +5,9 @@
 //!
 //! * [`Matrix`] — a row-major `f32` matrix with the small set of operations
 //!   the paper's workloads need (GEMM, transpose, masking, norms).
-//! * [`gemm`] — reference, blocked and rayon-parallel GEMM kernels plus the
+//! * [`mod@gemm`] — reference, blocked and rayon-parallel GEMM kernels plus the
 //!   masked variants used by the tile-wise execution path.
-//! * [`im2col`] — the convolution-to-GEMM lowering used for VGG-16, exactly
+//! * [`mod@im2col`] — the convolution-to-GEMM lowering used for VGG-16, exactly
 //!   as the paper does ("the convolutional layer can be converted to GEMM
 //!   through the img2col transformation").
 //! * [`quant`] — software fp16 round-tripping, standing in for tensor-core

@@ -27,9 +27,14 @@ pub mod prelude {
         TileWisePruner,
     };
     pub use tw_gpu_sim::{CoreKind, GpuDevice, KernelCounters};
-    pub use tw_models::{ModelKind, RequestGenerator, Workload};
+    pub use tw_models::{
+        Arrival, ArrivalProcess, ModelKind, RequestGenerator, TrafficClass, TrafficSpec, Workload,
+    };
     pub use tw_pruning::{ImportanceScores, PruningPattern, SparsityTarget};
-    pub use tw_serve::{serve_closed_loop, GpuDwell, ServeConfig, ServeReport, Server};
+    pub use tw_serve::{
+        serve_closed_loop, serve_open_loop, Admission, AdmissionConfig, ClassPolicy, GpuDwell,
+        ServeConfig, ServeReport, Server, ShedReason,
+    };
     pub use tw_sparse::{CscMatrix, CsrMatrix};
     pub use tw_tensor::{gemm, Matrix};
 }
