@@ -8,17 +8,23 @@
 //! are reported and ignored, so the baseline can trail newly added
 //! configurations gracefully.
 //!
+//! `--current` may repeat: the gate merges every given artifact's runs, so
+//! one baseline can cover benchmark configurations that take several
+//! invocations to produce (e.g. the single-server closed loop *and* a
+//! cluster scenario).
+//!
 //! ```text
 //! cargo run --release -p tw-bench --bin compare -- \
 //!     --baseline BENCH_serving.baseline.json \
-//!     --current  BENCH_serving.json [--threshold 0.25]
+//!     --current  BENCH_serving.json \
+//!     [--current BENCH_cluster.json] [--threshold 0.25]
 //! ```
 
 use std::fmt::Display;
 use tw_bench::json::{self, Value};
 
-const USAGE: &str =
-    "usage: compare --baseline PATH --current PATH [--threshold FRACTION (default 0.25)]";
+const USAGE: &str = "usage: compare --baseline PATH --current PATH [--current PATH ..] \
+[--threshold FRACTION (default 0.25)]";
 
 fn fail(msg: impl Display) -> ! {
     eprintln!("compare: {msg}");
@@ -83,7 +89,7 @@ fn load_runs(path: &str) -> Vec<Run> {
 
 fn main() {
     let mut baseline_path: Option<String> = None;
-    let mut current_path: Option<String> = None;
+    let mut current_paths: Vec<String> = Vec::new();
     let mut threshold = 0.25f64;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -91,7 +97,7 @@ fn main() {
             |name: &str| args.next().unwrap_or_else(|| fail(format!("missing value for {name}")));
         match flag.as_str() {
             "--baseline" => baseline_path = Some(value("--baseline")),
-            "--current" => current_path = Some(value("--current")),
+            "--current" => current_paths.push(value("--current")),
             "--threshold" => {
                 threshold = value("--threshold")
                     .parse()
@@ -101,13 +107,15 @@ fn main() {
         }
     }
     let baseline_path = baseline_path.unwrap_or_else(|| fail("--baseline is required"));
-    let current_path = current_path.unwrap_or_else(|| fail("--current is required"));
+    if current_paths.is_empty() {
+        fail("--current is required (repeat it to merge several artifacts)");
+    }
     if !threshold.is_finite() || !(0.0..1.0).contains(&threshold) {
         fail("--threshold must be a fraction in [0, 1)");
     }
 
     let baseline = load_runs(&baseline_path);
-    let current = load_runs(&current_path);
+    let current: Vec<Run> = current_paths.iter().flat_map(|path| load_runs(path)).collect();
     if baseline.is_empty() {
         fail(format!("{baseline_path}: no runs to compare against"));
     }

@@ -39,19 +39,26 @@
 use std::fmt::Display;
 use std::sync::Arc;
 use std::time::Duration;
-use tilewise::{AutoPlanner, Backend, InferenceSession, KernelRegistry};
-use tw_bench::{csv_header, csv_row, fmt, json};
+use tilewise::{AutoPlanner, Backend, InferenceSession, KernelRegistry, TileWiseMatrix};
+use tw_bench::{csv_header, csv_row, fmt, json, report};
+use tw_cluster::{AutoscalerConfig, BalancerKind, Cluster, ClusterConfig, ReplicaSpec};
+use tw_gpu_sim::GpuDevice;
 use tw_models::{RequestGenerator, TrafficSpec};
-use tw_serve::{
-    serve_closed_loop, serve_open_loop, AdmissionConfig, GpuDwell, ServeConfig, ServeReport,
-};
+use tw_serve::{serve_closed_loop, serve_open_loop, AdmissionConfig, GpuDwell, ServeConfig};
 
 const USAGE: &str = "usage: serving [--requests N] [--batch N] [--wait-ms MS] \
 [--workers A,B,..] [--dims D0,D1,..] [--sparsity F] [--granularity N] \
 [--backend dense|tw|csr|bsr|auto[,..]] [--sweep-backends] [--dwell-ms MS] \
 [--scenario closed|steady|bursty|heavy-tail|mixed-priority] [--rate RPS] \
 [--slo-ms MS] [--shed-depth N] [--wait-budget-ms MS] [--shed-hopeless] \
-[--seed N] [--json PATH]";
+[--replicas N] [--balancer rr|jsq|p2c|least-wait[,..]] [--heterogeneous] \
+[--device v100|a100|midrange[,..]] [--autoscale] \
+[--seed N] [--json PATH]
+
+With --replicas >= 2 the benchmark serves the (open-loop) scenario through a
+tw-cluster fleet instead of a single server, once per --balancer policy.
+Homogeneous fleets take the first --workers/--backend/--device entry for
+every replica; --heterogeneous cycles all three lists across replicas.";
 
 /// Reports a usage error on stderr and exits non-zero — the benchmark is a
 /// CLI, so malformed flags should produce a readable message, not a panic
@@ -112,6 +119,11 @@ struct Options {
     shed_depth: Option<usize>,
     wait_budget_ms: Option<f64>,
     shed_hopeless: bool,
+    replicas: usize,
+    balancers: Vec<BalancerKind>,
+    heterogeneous: bool,
+    devices: Vec<GpuDevice>,
+    autoscale: bool,
     seed: u64,
     json_path: Option<String>,
 }
@@ -134,6 +146,11 @@ impl Default for Options {
             shed_depth: None,
             wait_budget_ms: None,
             shed_hopeless: false,
+            replicas: 1,
+            balancers: vec![BalancerKind::JoinShortestQueue],
+            heterogeneous: false,
+            devices: vec![GpuDevice::v100()],
+            autoscale: false,
             seed: 42,
             json_path: None,
         }
@@ -197,6 +214,29 @@ fn parse_args() -> Options {
                     Some(parse("--wait-budget-ms", &value("--wait-budget-ms"), "a number"));
             }
             "--shed-hopeless" => opts.shed_hopeless = true,
+            "--replicas" => opts.replicas = parse("--replicas", &value("--replicas"), "an integer"),
+            "--balancer" => {
+                opts.balancers = value("--balancer")
+                    .split(',')
+                    .filter(|part| !part.trim().is_empty())
+                    .map(|part| part.parse::<BalancerKind>().unwrap_or_else(|e| fail(e)))
+                    .collect();
+                if opts.balancers.is_empty() {
+                    fail("--balancer expects a non-empty comma-separated list");
+                }
+            }
+            "--heterogeneous" => opts.heterogeneous = true,
+            "--device" => {
+                opts.devices = value("--device")
+                    .split(',')
+                    .filter(|part| !part.trim().is_empty())
+                    .map(|part| part.parse::<GpuDevice>().unwrap_or_else(|e| fail(e)))
+                    .collect();
+                if opts.devices.is_empty() {
+                    fail("--device expects a non-empty comma-separated list");
+                }
+            }
+            "--autoscale" => opts.autoscale = true,
             "--seed" => opts.seed = parse("--seed", &value("--seed"), "an integer"),
             "--json" => opts.json_path = Some(value("--json")),
             other => fail(format!("unknown flag {other:?}")),
@@ -240,6 +280,15 @@ fn parse_args() -> Options {
     if opts.dims.contains(&0) {
         fail("--dims entries must be at least 1");
     }
+    if opts.replicas == 0 {
+        fail("--replicas must be at least 1");
+    }
+    if opts.replicas > 1 && opts.scenario == Scenario::Closed {
+        fail("--replicas needs an open-loop scenario (steady|bursty|heavy-tail|mixed-priority)");
+    }
+    if (opts.heterogeneous || opts.autoscale) && opts.replicas < 2 {
+        fail("--heterogeneous/--autoscale only apply with --replicas >= 2");
+    }
     opts
 }
 
@@ -273,44 +322,104 @@ fn admission_config(opts: &Options) -> AdmissionConfig {
     }
 }
 
-/// One benchmark run's record, kept for the JSON artifact.
-struct RunRecord {
-    scenario: &'static str,
-    backend: Backend,
-    plan: Vec<String>,
-    workers: usize,
-    report: ServeReport,
+/// The replica fleet a cluster run serves: homogeneous fleets take the
+/// first `--workers`/`--backend`/`--device` entry everywhere, heterogeneous
+/// ones cycle all three lists so the fleet mixes worker counts, kernel
+/// plans and device generations.
+fn replica_specs(opts: &Options, time_scale: f64) -> Vec<ReplicaSpec> {
+    (0..opts.replicas)
+        .map(|i| {
+            let pick = |j: usize, len: usize| if opts.heterogeneous { j % len } else { 0 };
+            ReplicaSpec {
+                name: format!("r{i}"),
+                workers: opts.workers[pick(i, opts.workers.len())],
+                backend: opts.backends[pick(i, opts.backends.len())],
+                device: opts.devices[pick(i, opts.devices.len())].clone(),
+                time_scale,
+            }
+        })
+        .collect()
 }
 
-impl RunRecord {
-    fn to_json(&self) -> String {
-        let classes = self.report.classes.iter().map(|c| {
-            json::object(&[
-                ("name", json::string(&c.name)),
-                ("completed", c.completed.to_string()),
-                ("shed", c.shed.to_string()),
-                ("good", c.good.to_string()),
-                ("p50_ms", json::number(c.latency.p50_s * 1e3)),
-                ("p99_ms", json::number(c.latency.p99_s * 1e3)),
-            ])
-        });
-        json::object(&[
-            ("scenario", json::string(self.scenario)),
-            ("backend", json::string(self.backend.as_str())),
-            ("plan", json::array(self.plan.iter().map(|p| json::string(p)))),
-            ("workers", self.workers.to_string()),
-            ("requests", self.report.completed.to_string()),
-            ("shed", self.report.shed.to_string()),
-            ("throughput_rps", json::number(self.report.throughput_rps())),
-            ("goodput_rps", json::number(self.report.goodput_rps())),
-            ("p50_ms", json::number(self.report.latency.p50_s * 1e3)),
-            ("p95_ms", json::number(self.report.latency.p95_s * 1e3)),
-            ("p99_ms", json::number(self.report.latency.p99_s * 1e3)),
-            ("mean_batch", json::number(self.report.mean_batch_size())),
-            ("sim_gpu_s", json::number(self.report.sim_gpu_s)),
-            ("classes", json::array(classes)),
-        ])
+/// Serves the scenario through a `tw-cluster` fleet, once per balancer
+/// policy, printing one CSV row per run and returning the JSON run records.
+fn run_cluster(opts: &Options, tiles: &[TileWiseMatrix], time_scale: f64) -> Vec<String> {
+    let spec = traffic_spec(opts, tiles[0].k())
+        .unwrap_or_else(|| fail("--replicas needs an open-loop scenario"));
+    let schedule = spec.schedule();
+    let specs = replica_specs(opts, time_scale);
+    eprintln!(
+        "# cluster: {} replica(s) [{}]",
+        specs.len(),
+        specs
+            .iter()
+            .map(|s| format!("{}:{}x{} on {}", s.name, s.workers, s.backend, s.device))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+
+    let mut records = Vec::new();
+    for &balancer in &opts.balancers {
+        let mut config = ClusterConfig {
+            max_batch_size: opts.max_batch,
+            max_batch_wait: Duration::from_secs_f64(opts.wait_ms * 1e-3),
+            // Open-loop submission must never block: hold the whole run (or
+            // rely on the shed depth once admission is active).
+            queue_capacity: opts.requests.max(opts.max_batch * 4),
+            admission: admission_config(opts),
+            balancer,
+            balancer_seed: opts.seed,
+            ..ClusterConfig::default()
+        }
+        .with_traffic_classes(&spec.classes);
+        if opts.autoscale {
+            config.autoscaler = Some(AutoscalerConfig {
+                min_replicas: opts.replicas,
+                max_replicas: opts.replicas * 2,
+                scale_up_depth: opts.max_batch * 4,
+                scale_down_depth: opts.max_batch / 2,
+                sustain: 2,
+                poll_every: 25,
+                template: specs[0].clone(),
+            });
+        }
+        let mut cluster = Cluster::start(tiles.to_vec(), specs.clone(), config);
+        cluster.replay(&schedule);
+        let report = cluster.shutdown();
+        assert_eq!(
+            report.completed + report.shed,
+            opts.requests,
+            "cluster lost requests under {balancer}"
+        );
+
+        csv_row(&[
+            opts.scenario.as_str().to_string(),
+            format!("cluster-{balancer}"),
+            report.replicas.iter().map(|r| r.plan.join("+")).collect::<Vec<_>>().join("|"),
+            report.replicas.iter().map(|r| r.workers).sum::<usize>().to_string(),
+            report.completed.to_string(),
+            report.shed.to_string(),
+            fmt(report.throughput_rps()),
+            fmt(report.goodput_rps()),
+            fmt(report.latency.p50_s * 1e3),
+            fmt(report.latency.p95_s * 1e3),
+            fmt(report.latency.p99_s * 1e3),
+            fmt(report.mean_batch_size()),
+            fmt(report.sim_gpu_s()),
+        ]);
+        eprintln!("# {}", report.summary());
+        for line in report.replica_summary() {
+            eprintln!("#   {line}");
+        }
+        for line in report.class_summary() {
+            eprintln!("#   {line}");
+        }
+        for event in &report.scale_events {
+            eprintln!("#   scale: {event}");
+        }
+        records.push(report::cluster_run(opts.scenario.as_str(), &report));
     }
+    records
 }
 
 fn main() {
@@ -371,13 +480,51 @@ fn main() {
         None
     };
 
-    let mut records: Vec<RunRecord> = Vec::new();
+    let records: Vec<String> = if opts.replicas > 1 {
+        run_cluster(&opts, &tiles, gpu_dwell.map_or(0.0, |d| d.time_scale))
+    } else {
+        run_single_server(&opts, &tiles, &registry, &auto, gpu_dwell)
+    };
+
+    if let Some(path) = &opts.json_path {
+        let doc = json::object(&[
+            ("benchmark", json::string("serving")),
+            ("scenario", json::string(opts.scenario.as_str())),
+            ("requests", opts.requests.to_string()),
+            ("rate_rps", json::number(opts.rate)),
+            ("slo_ms", json::number(opts.slo_ms)),
+            ("dims", json::array(opts.dims.iter().map(|d| d.to_string()))),
+            ("target_sparsity", json::number(opts.sparsity)),
+            ("granularity", opts.granularity.to_string()),
+            ("max_batch", opts.max_batch.to_string()),
+            ("wait_ms", json::number(opts.wait_ms)),
+            ("dwell_ms", json::number(opts.dwell_ms)),
+            ("seed", opts.seed.to_string()),
+            ("runs", json::array(records.iter().cloned())),
+        ]);
+        std::fs::write(path, doc + "\n")
+            .unwrap_or_else(|e| fail(format!("cannot write {path:?}: {e}")));
+        eprintln!("# wrote {} run record(s) to {path}", records.len());
+    }
+}
+
+/// The single-server path: one run per (backend, worker count), as before
+/// the cluster layer existed.  Returns the JSON run records.
+fn run_single_server(
+    opts: &Options,
+    tiles: &[TileWiseMatrix],
+    registry: &KernelRegistry,
+    auto: &AutoPlanner,
+    gpu_dwell: Option<GpuDwell>,
+) -> Vec<String> {
+    let num_layers = tiles.len();
+    let mut records: Vec<String> = Vec::new();
     for &backend in &opts.backends {
         let session = Arc::new(InferenceSession::with_plan_in(
-            tiles.clone(),
+            tiles.to_vec(),
             &vec![backend; num_layers],
-            &registry,
-            &auto,
+            registry,
+            auto,
         ));
         eprintln!(
             "# backend {}: plan [{}] | {:.1}% achieved sparsity | {} resident weight bytes | batching win {:.2}x over 4 streams",
@@ -388,7 +535,7 @@ fn main() {
             session.batching_speedup(opts.max_batch, 4),
         );
 
-        let spec = traffic_spec(&opts, session.input_dim());
+        let spec = traffic_spec(opts, session.input_dim());
         // One schedule per backend: every worker count replays the exact
         // same arrival sequence.
         let schedule = spec.as_ref().map(|s| s.schedule());
@@ -416,7 +563,7 @@ fn main() {
                 Some(spec) => {
                     config = config
                         .with_traffic_classes(&spec.classes)
-                        .with_admission(admission_config(&opts));
+                        .with_admission(admission_config(opts));
                     if let Some(depth) = opts.shed_depth {
                         config.queue_capacity = config.queue_capacity.max(depth);
                     }
@@ -450,13 +597,12 @@ fn main() {
                 eprintln!("#   [{} workers] {line}", workers);
             }
             throughputs.push((workers, report.throughput_rps()));
-            records.push(RunRecord {
-                scenario: opts.scenario.as_str(),
-                backend,
-                plan: report.backend_plan.clone(),
+            records.push(report::serve_run(
+                opts.scenario.as_str(),
+                backend.as_str(),
                 workers,
-                report,
-            });
+                &report,
+            ));
         }
 
         // Scaling verdict over the sorted worker counts actually measured
@@ -479,25 +625,5 @@ fn main() {
             );
         }
     }
-
-    if let Some(path) = &opts.json_path {
-        let doc = json::object(&[
-            ("benchmark", json::string("serving")),
-            ("scenario", json::string(opts.scenario.as_str())),
-            ("requests", opts.requests.to_string()),
-            ("rate_rps", json::number(opts.rate)),
-            ("slo_ms", json::number(opts.slo_ms)),
-            ("dims", json::array(opts.dims.iter().map(|d| d.to_string()))),
-            ("target_sparsity", json::number(opts.sparsity)),
-            ("granularity", opts.granularity.to_string()),
-            ("max_batch", opts.max_batch.to_string()),
-            ("wait_ms", json::number(opts.wait_ms)),
-            ("dwell_ms", json::number(opts.dwell_ms)),
-            ("seed", opts.seed.to_string()),
-            ("runs", json::array(records.iter().map(RunRecord::to_json))),
-        ]);
-        std::fs::write(path, doc + "\n")
-            .unwrap_or_else(|e| fail(format!("cannot write {path:?}: {e}")));
-        eprintln!("# wrote {} run record(s) to {path}", records.len());
-    }
+    records
 }

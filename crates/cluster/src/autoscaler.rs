@@ -1,0 +1,231 @@
+//! Reactive autoscaling: add replicas under sustained pressure, drain them
+//! when the fleet runs idle.
+//!
+//! The policy is deliberately boring — threshold + hysteresis, the shape
+//! production autoscalers actually ship with:
+//!
+//! * **Pressure** is mean queue depth per live replica at or above
+//!   [`AutoscalerConfig::scale_up_depth`], *or* any fresh sheds since the
+//!   last poll (shed load is lost goodput; more capacity is the only cure
+//!   the router can offer).
+//! * **Idle** is mean depth at or below [`AutoscalerConfig::scale_down_depth`]
+//!   with no fresh sheds.
+//! * Either signal must hold for [`AutoscalerConfig::sustain`] *consecutive*
+//!   polls before the scaler acts, and acting resets both streaks — the
+//!   hysteresis that keeps one bursty poll from flapping the fleet.
+//!
+//! The scaler only *decides*; the [`crate::Cluster`] applies decisions,
+//! bounded by `min_replicas`/`max_replicas`, and owns the deterministic
+//! drain of scaled-down replicas.
+
+use crate::replica::ReplicaSpec;
+
+/// Autoscaler policy knobs.
+#[derive(Clone, Debug)]
+pub struct AutoscalerConfig {
+    /// Never drain below this many replicas.
+    pub min_replicas: usize,
+    /// Never grow beyond this many replicas.
+    pub max_replicas: usize,
+    /// Mean queue depth per live replica that counts as pressure.
+    pub scale_up_depth: usize,
+    /// Mean queue depth per live replica under which a replica is surplus.
+    pub scale_down_depth: usize,
+    /// Consecutive pressured (or idle) polls required before acting.
+    pub sustain: usize,
+    /// Arrivals between autoscaler polls during open-loop replay.
+    pub poll_every: usize,
+    /// Spec for replicas added on scale-up.
+    pub template: ReplicaSpec,
+}
+
+impl AutoscalerConfig {
+    /// Panics on nonsensical settings; called by [`Autoscaler::new`].
+    pub fn validate(&self) {
+        assert!(self.min_replicas > 0, "autoscaler floor must keep at least one replica");
+        assert!(
+            self.max_replicas >= self.min_replicas,
+            "autoscaler ceiling must be at least the floor"
+        );
+        assert!(
+            self.scale_down_depth < self.scale_up_depth,
+            "scale-down depth must sit below scale-up depth (hysteresis band)"
+        );
+        assert!(self.sustain > 0, "sustain must be at least one poll");
+        assert!(self.poll_every > 0, "poll interval must be at least one arrival");
+        self.template.validate();
+    }
+}
+
+/// A scaling decision the cluster applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleAction {
+    /// Start one replica from the template.
+    Up,
+    /// Drain one replica (the cluster picks which).
+    Down,
+}
+
+/// The reactive scaling policy: feed it one observation per poll, apply
+/// whatever it returns.
+#[derive(Clone, Debug)]
+pub struct Autoscaler {
+    config: AutoscalerConfig,
+    up_streak: usize,
+    down_streak: usize,
+    last_shed: usize,
+    spawned: usize,
+}
+
+impl Autoscaler {
+    /// A scaler with fresh streaks.
+    ///
+    /// # Panics
+    /// Panics if `config` is invalid (see [`AutoscalerConfig::validate`]).
+    pub fn new(config: AutoscalerConfig) -> Self {
+        config.validate();
+        Self { config, up_streak: 0, down_streak: 0, last_shed: 0, spawned: 0 }
+    }
+
+    /// The configured poll cadence (arrivals between observations).
+    pub fn poll_every(&self) -> usize {
+        self.config.poll_every
+    }
+
+    /// The spec scale-up replicas are built from.
+    pub fn template(&self) -> &ReplicaSpec {
+        &self.config.template
+    }
+
+    /// A unique name for the next scale-up replica (`auto-1`, `auto-2`, ...).
+    pub fn next_name(&mut self) -> String {
+        self.spawned += 1;
+        format!("auto-{}", self.spawned)
+    }
+
+    /// One pressure observation: the live replica count, the total queued
+    /// requests across the fleet, and the cumulative shed count.  Returns
+    /// the action to apply, if any; bounds (`min`/`max`) are enforced here
+    /// so a saturated streak does not keep firing at the rail.
+    pub fn observe(
+        &mut self,
+        live_replicas: usize,
+        total_depth: usize,
+        total_shed: usize,
+    ) -> Option<ScaleAction> {
+        assert!(live_replicas > 0, "cannot observe an empty fleet");
+        let mean_depth = total_depth as f64 / live_replicas as f64;
+        let fresh_sheds = total_shed.saturating_sub(self.last_shed);
+        self.last_shed = total_shed;
+
+        let pressured = mean_depth >= self.config.scale_up_depth as f64 || fresh_sheds > 0;
+        let idle = mean_depth <= self.config.scale_down_depth as f64 && fresh_sheds == 0;
+        if pressured {
+            self.up_streak += 1;
+            self.down_streak = 0;
+        } else if idle {
+            self.down_streak += 1;
+            self.up_streak = 0;
+        } else {
+            // The hysteresis band: neither streak advances, neither resets
+            // to fight a borderline fleet.
+            return None;
+        }
+
+        if self.up_streak >= self.config.sustain && live_replicas < self.config.max_replicas {
+            self.up_streak = 0;
+            self.down_streak = 0;
+            return Some(ScaleAction::Up);
+        }
+        if self.down_streak >= self.config.sustain && live_replicas > self.config.min_replicas {
+            self.up_streak = 0;
+            self.down_streak = 0;
+            return Some(ScaleAction::Down);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilewise::Backend;
+
+    fn config(sustain: usize) -> AutoscalerConfig {
+        AutoscalerConfig {
+            min_replicas: 1,
+            max_replicas: 3,
+            scale_up_depth: 16,
+            scale_down_depth: 2,
+            sustain,
+            poll_every: 10,
+            template: ReplicaSpec::v100("t", 1, Backend::TileWise, 0.0),
+        }
+    }
+
+    #[test]
+    fn sustained_pressure_scales_up_once_then_rearms() {
+        let mut scaler = Autoscaler::new(config(3));
+        // Two pressured polls: not yet.
+        assert_eq!(scaler.observe(1, 40, 0), None);
+        assert_eq!(scaler.observe(1, 40, 0), None);
+        // Third consecutive one fires.
+        assert_eq!(scaler.observe(1, 40, 0), Some(ScaleAction::Up));
+        // The streak reset: pressure must sustain again before the next add.
+        assert_eq!(scaler.observe(2, 80, 0), None);
+        assert_eq!(scaler.observe(2, 80, 0), None);
+        assert_eq!(scaler.observe(2, 80, 0), Some(ScaleAction::Up));
+        // At the ceiling nothing fires no matter how long pressure holds.
+        for _ in 0..10 {
+            assert_eq!(scaler.observe(3, 400, 0), None);
+        }
+    }
+
+    #[test]
+    fn fresh_sheds_count_as_pressure_even_with_shallow_queues() {
+        let mut scaler = Autoscaler::new(config(1));
+        // Depth is idle-range, but sheds grew since the last poll.
+        assert_eq!(scaler.observe(1, 0, 5), Some(ScaleAction::Up));
+        // No *new* sheds now: the same cumulative count reads as idle.
+        assert_eq!(scaler.observe(2, 0, 5), Some(ScaleAction::Down));
+    }
+
+    #[test]
+    fn idle_fleet_drains_down_to_the_floor_only() {
+        let mut scaler = Autoscaler::new(config(2));
+        assert_eq!(scaler.observe(3, 0, 0), None);
+        assert_eq!(scaler.observe(3, 0, 0), Some(ScaleAction::Down));
+        assert_eq!(scaler.observe(2, 0, 0), None);
+        assert_eq!(scaler.observe(2, 0, 0), Some(ScaleAction::Down));
+        // At the floor the idle streak never drains the last replica.
+        for _ in 0..10 {
+            assert_eq!(scaler.observe(1, 0, 0), None);
+        }
+    }
+
+    #[test]
+    fn mid_band_depth_freezes_both_streaks() {
+        let mut scaler = Autoscaler::new(config(2));
+        assert_eq!(scaler.observe(1, 40, 0), None, "pressure poll 1");
+        // Depth 8 sits between down (2) and up (16): the band neither
+        // advances nor resets the pressure streak.
+        assert_eq!(scaler.observe(1, 8, 0), None);
+        assert_eq!(scaler.observe(1, 40, 0), Some(ScaleAction::Up), "pressure poll 2 fires");
+    }
+
+    #[test]
+    fn scale_up_names_are_unique() {
+        let mut scaler = Autoscaler::new(config(1));
+        assert_eq!(scaler.next_name(), "auto-1");
+        assert_eq!(scaler.next_name(), "auto-2");
+        assert_eq!(scaler.template().name, "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis band")]
+    fn inverted_thresholds_rejected() {
+        let mut cfg = config(1);
+        cfg.scale_down_depth = 20;
+        let _ = Autoscaler::new(cfg);
+    }
+}

@@ -1,0 +1,527 @@
+//! `tw-cluster` — multi-replica serving over `tw-serve`: a router with
+//! pluggable load balancing and a reactive autoscaler.
+//!
+//! One [`tw_serve::Server`] is a single node.  Production scale means N
+//! replicas behind a router, each with its own queue, batcher, worker pool
+//! and — because fleets are never uniform for long — its own kernel plan,
+//! worker count and simulated device generation:
+//!
+//! ```text
+//!                       +-- Replica r0 (a100, 4 workers) -- queue → batcher → pool
+//! submissions → router -+-- Replica r1 (v100, 2 workers) -- queue → batcher → pool
+//!  (LoadBalancer)       +-- Replica r2 (v100, 1 worker)  -- queue → batcher → pool
+//!                            ↑ add / drain (Autoscaler)        → ClusterReport
+//! ```
+//!
+//! * [`Replica`] — one server plus its [`ReplicaSpec`] (backend plan,
+//!   workers, [`tw_gpu_sim::GpuDevice`] profile, dwell scale).
+//! * [`LoadBalancer`] — the routing policy trait; built-ins are
+//!   [`RoundRobin`], [`JoinShortestQueue`], [`PowerOfTwoChoices`] and the
+//!   cost-model-aware [`LeastPredictedWait`], which prices each replica's
+//!   backlog with that replica's own `InferenceSession::dwell_model`.
+//! * [`Autoscaler`] — threshold + hysteresis scaling on sustained
+//!   queue-depth or shed pressure; the cluster applies its decisions.
+//! * [`Cluster`] — routes classed submissions, replays
+//!   [`tw_models::Arrival`] schedules open-loop, and aggregates every
+//!   replica's outcome into a [`ClusterReport`].
+//!
+//! # Id conservation
+//!
+//! The single-server guarantee — every submission completes or sheds
+//! exactly once — extends to the fleet: each replica asserts
+//! `completed + shed == routed` when drained, and
+//! [`Cluster::shutdown`] asserts the fleet-wide sum equals the number of
+//! submissions the cluster issued, across every balancer policy and any
+//! autoscaling history.
+//!
+//! # Deterministic drain
+//!
+//! Scale-down and shutdown both retire replicas through the same sequence:
+//!
+//! 1. The replica is removed from the live list — the balancer can no
+//!    longer route to it and no new ids can reach it.
+//! 2. Its server runs `tw_serve::Server::shutdown`'s documented
+//!    close → join → collect ordering, draining everything already queued.
+//! 3. The retired outcome (spec, routed count, report, responses) is held
+//!    until [`Cluster::shutdown`] merges every replica — scaled-down ones
+//!    included — into the final report.
+//!
+//! Scale-down drains run on a background thread so an open-loop replay's
+//! arrival clock never stalls behind a retiring replica; `shutdown` joins
+//! those threads before reporting, so the ordering guarantee is unchanged.
+
+pub mod autoscaler;
+pub mod balancer;
+pub mod replica;
+pub mod report;
+
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleAction};
+pub use balancer::{
+    BalancerKind, BalancerParseError, JoinShortestQueue, LeastPredictedWait, LoadBalancer,
+    PowerOfTwoChoices, ReplicaProbe, RoundRobin,
+};
+pub use replica::{Replica, ReplicaSpec, RetiredReplica};
+pub use report::{ClusterReport, ReplicaReport};
+
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tilewise::TileWiseMatrix;
+use tw_models::Arrival;
+use tw_serve::{Admission, AdmissionConfig, ClassId, ClassPolicy, ServerClosed};
+
+/// Cluster-wide serving settings shared by every replica (per-replica
+/// differences live on [`ReplicaSpec`]).
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Largest number of requests fused into one batch, per replica.
+    pub max_batch_size: usize,
+    /// Longest a batch head waits for followers, per replica.
+    pub max_batch_wait: Duration,
+    /// Bound on queued requests per replica.
+    pub queue_capacity: usize,
+    /// Request classes in priority order (index = class id).
+    pub classes: Vec<ClassPolicy>,
+    /// Per-replica admission policy (applied at each replica's door, after
+    /// routing).
+    pub admission: AdmissionConfig,
+    /// Routing policy.
+    pub balancer: BalancerKind,
+    /// Seed for stochastic balancers (p2c).
+    pub balancer_seed: u64,
+    /// Reactive scaling; `None` runs a fixed fleet.
+    pub autoscaler: Option<AutoscalerConfig>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_size: 8,
+            max_batch_wait: Duration::from_millis(2),
+            queue_capacity: 1024,
+            classes: vec![ClassPolicy::best_effort("default")],
+            admission: AdmissionConfig::default(),
+            balancer: BalancerKind::JoinShortestQueue,
+            balancer_seed: 0,
+            autoscaler: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Panics on nonsensical settings; called by [`Cluster::start`].
+    pub fn validate(&self) {
+        assert!(self.max_batch_size > 0, "max batch size must be positive");
+        assert!(
+            self.queue_capacity >= self.max_batch_size,
+            "queue capacity must hold at least one full batch"
+        );
+        assert!(!self.classes.is_empty(), "need at least one request class");
+        if let Some(scaler) = &self.autoscaler {
+            scaler.validate();
+        }
+    }
+
+    /// Builder-style override of the class list (priority order).
+    pub fn with_classes(mut self, classes: Vec<ClassPolicy>) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Builder-style class list mirroring a traffic mix.
+    pub fn with_traffic_classes(self, classes: &[tw_models::TrafficClass]) -> Self {
+        self.with_classes(ClassPolicy::from_traffic(classes))
+    }
+
+    /// Builder-style override of the routing policy.
+    pub fn with_balancer(mut self, balancer: BalancerKind) -> Self {
+        self.balancer = balancer;
+        self
+    }
+
+    /// Builder-style override of the autoscaler.
+    pub fn with_autoscaler(mut self, autoscaler: AutoscalerConfig) -> Self {
+        self.autoscaler = Some(autoscaler);
+        self
+    }
+}
+
+/// A running fleet: submit requests (the balancer routes them), or replay a
+/// traffic schedule, then shut down for the aggregated report.
+pub struct Cluster {
+    tiles: Vec<TileWiseMatrix>,
+    config: ClusterConfig,
+    live: Vec<Replica>,
+    draining: Vec<JoinHandle<RetiredReplica>>,
+    balancer: Box<dyn LoadBalancer>,
+    autoscaler: Option<Autoscaler>,
+    issued: usize,
+    since_poll: usize,
+    /// Sheds by replicas already retired (their counts are final once they
+    /// leave the routing table); keeps the autoscaler's cumulative shed
+    /// signal monotonic across drains.
+    retired_shed: usize,
+    scale_events: Vec<String>,
+    started: Instant,
+}
+
+impl Cluster {
+    /// Starts one replica per spec over the shared pruned `tiles` (each
+    /// replica binds its own kernels and prices them on its own device).
+    ///
+    /// # Panics
+    /// Panics on an empty spec list, an invalid config, or an invalid spec.
+    pub fn start(
+        tiles: Vec<TileWiseMatrix>,
+        specs: Vec<ReplicaSpec>,
+        config: ClusterConfig,
+    ) -> Self {
+        config.validate();
+        assert!(!specs.is_empty(), "a cluster needs at least one replica");
+        let live: Vec<Replica> =
+            specs.into_iter().map(|spec| Replica::start(&tiles, spec, &config)).collect();
+        let balancer = config.balancer.build(config.balancer_seed);
+        let autoscaler = config.autoscaler.clone().map(Autoscaler::new);
+        Self {
+            tiles,
+            config,
+            live,
+            draining: Vec::new(),
+            balancer,
+            autoscaler,
+            issued: 0,
+            since_poll: 0,
+            retired_shed: 0,
+            scale_events: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of live replicas right now.
+    pub fn live_replicas(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Submissions issued so far (admitted or shed, across all replicas).
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+
+    /// Total queued requests across the live fleet.
+    pub fn queue_depth(&self) -> usize {
+        self.live.iter().map(Replica::queue_depth).sum()
+    }
+
+    /// Autoscaler decisions so far, in decision order.
+    pub fn scale_events(&self) -> &[String] {
+        &self.scale_events
+    }
+
+    /// Routes one classed submission through the balancer.  Returns the
+    /// chosen replica's index in the live list and the replica's admission
+    /// outcome.  `Err` only once shutdown has begun (never during a run).
+    ///
+    /// # Panics
+    /// Panics if `class` is out of range, the payload does not match the
+    /// model input dim, or the balancer returns an out-of-range pick.
+    pub fn submit_to(
+        &mut self,
+        class: ClassId,
+        payload: Vec<f32>,
+    ) -> Result<(usize, Admission), ServerClosed> {
+        let probes: Vec<ReplicaProbe> =
+            self.live.iter().enumerate().map(|(i, r)| r.probe(i, class)).collect();
+        let pick = self.balancer.pick(&probes);
+        assert!(
+            pick < self.live.len(),
+            "balancer {} picked replica {pick} of {}",
+            self.balancer.name(),
+            self.live.len()
+        );
+        let admission = self.live[pick].submit_to(class, payload)?;
+        self.issued += 1;
+        self.since_poll += 1;
+        self.maybe_autoscale();
+        Ok((pick, admission))
+    }
+
+    /// Replays a `tw-models` traffic schedule open-loop: each [`Arrival`]
+    /// is routed at its offset from the start of the replay, on the
+    /// schedule's own clock.  Admission-refused requests land in the final
+    /// report's shed accounting.  (As with `tw_serve::serve_open_loop`,
+    /// activate admission control or size queues for the offered load when
+    /// the arrival clock must be honored under overload.)
+    ///
+    /// # Panics
+    /// Panics on arrivals whose class or payload does not fit the config.
+    pub fn replay(&mut self, schedule: &[Arrival]) {
+        let started = Instant::now();
+        for arrival in schedule {
+            let target = started + arrival.at;
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+            self.submit_to(arrival.class, arrival.payload.clone())
+                .expect("open-loop submit before shutdown");
+        }
+    }
+
+    /// On the poll cadence, feed the autoscaler one pressure observation
+    /// and apply its decision.
+    fn maybe_autoscale(&mut self) {
+        let Some(scaler) = self.autoscaler.as_mut() else {
+            return;
+        };
+        if self.since_poll < scaler.poll_every() {
+            return;
+        }
+        self.since_poll = 0;
+        let depth: usize = self.live.iter().map(Replica::queue_depth).sum();
+        // The shed-pressure signal must stay monotonic across drains:
+        // retired replicas leave the live list, so their (final) shed
+        // counts are carried in `retired_shed` — otherwise a scale-down
+        // would make the cumulative count *drop* and mask fresh sheds on
+        // the survivors as an idle poll.
+        let shed: usize =
+            self.retired_shed + self.live.iter().map(Replica::shed_so_far).sum::<usize>();
+        match scaler.observe(self.live.len(), depth, shed) {
+            Some(ScaleAction::Up) => {
+                let mut spec = scaler.template().clone();
+                spec.name = scaler.next_name();
+                let name = spec.name.clone();
+                self.live.push(Replica::start(&self.tiles, spec, &self.config));
+                self.scale_events.push(format!(
+                    "+{name} at submission {} (fleet depth {depth}, {} live)",
+                    self.issued,
+                    self.live.len(),
+                ));
+            }
+            Some(ScaleAction::Down) => {
+                // Retire the shallowest live replica: least in-flight work
+                // to drain, least disruption to the balancer's picture.
+                let victim = self
+                    .live
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, r)| (r.queue_depth(), *i))
+                    .map(|(i, _)| i)
+                    .expect("observe() requires a non-empty fleet");
+                let replica = self.live.remove(victim);
+                // Final at removal: a replica off the routing table can
+                // never shed again (sheds happen at submission).
+                self.retired_shed += replica.shed_so_far();
+                self.scale_events.push(format!(
+                    "-{} at submission {} (fleet depth {depth}, {} live)",
+                    replica.spec().name,
+                    self.issued,
+                    self.live.len(),
+                ));
+                // Step 1 of the documented drain happened above (no longer
+                // routable); steps 2–3 run off-thread so the arrival clock
+                // keeps ticking.  Joined in `shutdown`.
+                self.draining.push(std::thread::spawn(move || replica.shutdown()));
+            }
+            None => {}
+        }
+    }
+
+    /// Drains the whole fleet and aggregates the run.  Replicas retired by
+    /// scale-down are joined first (their drains were already running),
+    /// then live replicas drain in start order; the report covers every
+    /// replica that ever served.  Fleet-wide id conservation — completed +
+    /// shed across all replicas equals submissions issued — is asserted
+    /// here.
+    pub fn shutdown(mut self) -> ClusterReport {
+        let mut retired: Vec<RetiredReplica> =
+            self.draining.drain(..).map(|h| h.join().expect("drain thread panicked")).collect();
+        retired.extend(self.live.drain(..).map(Replica::shutdown));
+        let report = ClusterReport::aggregate(
+            self.balancer.name().to_string(),
+            &self.config.classes,
+            retired,
+            self.scale_events,
+            self.started.elapsed(),
+        );
+        assert_eq!(
+            report.completed + report.shed,
+            self.issued,
+            "cluster lost ids: {} completed + {} shed != {} issued",
+            report.completed,
+            report.shed,
+            self.issued,
+        );
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilewise::{Backend, InferenceSession};
+    use tw_models::TrafficSpec;
+
+    fn tiles() -> Vec<TileWiseMatrix> {
+        InferenceSession::synthetic_tiles(&[24, 32, 12], 0.5, 8, 17)
+    }
+
+    fn specs(n: usize, workers: usize, time_scale: f64) -> Vec<ReplicaSpec> {
+        (0..n)
+            .map(|i| ReplicaSpec::v100(format!("r{i}"), workers, Backend::TileWise, time_scale))
+            .collect()
+    }
+
+    #[test]
+    fn fixed_fleet_round_robin_conserves_ids_and_balances_exactly() {
+        let config =
+            ClusterConfig { balancer: BalancerKind::RoundRobin, ..ClusterConfig::default() };
+        let mut cluster = Cluster::start(tiles(), specs(3, 1, 0.0), config);
+        for _ in 0..30 {
+            cluster.submit_to(0, vec![0.1; 24]).unwrap();
+        }
+        assert_eq!(cluster.issued(), 30);
+        assert_eq!(cluster.live_replicas(), 3);
+        let report = cluster.shutdown();
+        assert_eq!(report.completed, 30);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.issued, 30);
+        assert_eq!(report.balancer, "round-robin");
+        assert_eq!(report.replicas.len(), 3);
+        for replica in &report.replicas {
+            assert_eq!(replica.routed, 10, "round-robin splits 30 exactly");
+            assert_eq!(replica.report.completed, 10);
+        }
+        assert!((report.balance_skew() - 1.0).abs() < 1e-12);
+        assert_eq!(report.latency.count, 30);
+        assert!(report.throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn jsq_avoids_the_wedged_replica() {
+        // Replica 0 crawls (huge dwell), replicas 1–2 are instant.  JSQ
+        // must stop feeding the deep queue after the first few routes.
+        let mut spec_list = specs(3, 1, 0.0);
+        spec_list[0].time_scale = 1e5;
+        let config =
+            ClusterConfig { balancer: BalancerKind::JoinShortestQueue, ..ClusterConfig::default() };
+        let mut cluster = Cluster::start(tiles(), spec_list, config);
+        for _ in 0..60 {
+            cluster.submit_to(0, vec![0.1; 24]).unwrap();
+        }
+        let report = cluster.shutdown();
+        assert_eq!(report.completed, 60);
+        let slow = &report.replicas[0];
+        let fast: usize = report.replicas[1..].iter().map(|r| r.routed).sum();
+        assert!(
+            slow.routed < fast,
+            "jsq kept feeding the wedged replica: {} vs {} to the fast pair",
+            slow.routed,
+            fast,
+        );
+    }
+
+    #[test]
+    fn autoscaler_grows_under_pressure_and_drained_replicas_stay_in_the_report() {
+        let template = ReplicaSpec::v100("template", 2, Backend::TileWise, 0.0);
+        let config = ClusterConfig {
+            balancer: BalancerKind::JoinShortestQueue,
+            autoscaler: Some(AutoscalerConfig {
+                min_replicas: 1,
+                max_replicas: 3,
+                scale_up_depth: 4,
+                scale_down_depth: 0,
+                sustain: 1,
+                poll_every: 5,
+                template,
+            }),
+            ..ClusterConfig::default()
+        };
+        // One crawling replica: its queue passes the threshold almost
+        // immediately, so the scaler must add capacity; the added replicas
+        // then absorb the rest of the load.
+        let mut spec_list = specs(1, 1, 0.0);
+        spec_list[0].time_scale = 5e4;
+        let mut cluster = Cluster::start(tiles(), spec_list, config);
+        for _ in 0..80 {
+            cluster.submit_to(0, vec![0.1; 24]).unwrap();
+        }
+        assert!(cluster.live_replicas() > 1, "pressure must add replicas");
+        let events = cluster.scale_events().to_vec();
+        assert!(events.iter().any(|e| e.starts_with("+auto-")), "events: {events:?}");
+        let report = cluster.shutdown();
+        assert_eq!(report.completed + report.shed, 80);
+        assert_eq!(report.shed, 0, "no admission control configured");
+        assert!(report.replicas.len() > 1);
+        assert_eq!(report.replicas.iter().map(|r| r.routed).sum::<usize>(), 80);
+        assert_eq!(report.scale_events, events);
+    }
+
+    #[test]
+    fn scale_down_drains_deterministically_without_losing_ids() {
+        let template = ReplicaSpec::v100("template", 1, Backend::TileWise, 0.0);
+        let config = ClusterConfig {
+            balancer: BalancerKind::RoundRobin,
+            autoscaler: Some(AutoscalerConfig {
+                min_replicas: 1,
+                max_replicas: 4,
+                scale_up_depth: 1000,
+                scale_down_depth: 2,
+                sustain: 1,
+                poll_every: 4,
+                template,
+            }),
+            ..ClusterConfig::default()
+        };
+        // Three idle instant replicas: the scaler drains down to the floor
+        // while traffic keeps flowing; every id still lands exactly once.
+        // Trickle submissions (yielding while queues are non-empty so the
+        // polls actually observe an *idle* fleet even on a loaded host)
+        // until the floor is reached, bounded so a wedge still fails fast.
+        let mut cluster = Cluster::start(tiles(), specs(3, 1, 0.0), config);
+        let mut submitted = 0;
+        while cluster.live_replicas() > 1 && submitted < 2000 {
+            cluster.submit_to(0, vec![0.1; 24]).unwrap();
+            submitted += 1;
+            while cluster.queue_depth() > 0 {
+                std::thread::yield_now();
+            }
+        }
+        assert_eq!(cluster.live_replicas(), 1, "idle fleet must drain to the floor");
+        let report = cluster.shutdown();
+        assert_eq!(report.completed, submitted);
+        assert_eq!(report.replicas.len(), 3, "drained replicas stay in the report");
+        assert_eq!(report.replicas.iter().map(|r| r.routed).sum::<usize>(), submitted);
+        assert_eq!(
+            report.scale_events.iter().filter(|e| e.starts_with('-')).count(),
+            2,
+            "two drains to reach the floor: {:?}",
+            report.scale_events,
+        );
+    }
+
+    #[test]
+    fn open_loop_replay_with_admission_sheds_but_conserves() {
+        let spec = TrafficSpec::bursty(3000.0, Duration::from_millis(25), 120, 24, 9);
+        let config = ClusterConfig {
+            queue_capacity: 64,
+            admission: AdmissionConfig { max_queue_depth: Some(6), ..Default::default() },
+            balancer: BalancerKind::PowerOfTwoChoices,
+            balancer_seed: 11,
+            ..ClusterConfig::default()
+        }
+        .with_traffic_classes(&spec.classes);
+        let mut cluster = Cluster::start(tiles(), specs(2, 1, 2e3), config);
+        cluster.replay(&spec.schedule());
+        let report = cluster.shutdown();
+        assert_eq!(report.completed + report.shed, 120);
+        assert!(report.shed > 0, "a depth bound of 6 under a 3000 rps burst must shed");
+        assert_eq!(report.classes.len(), 2);
+        let by_class: usize = report.classes.iter().map(|c| c.completed + c.shed).sum();
+        assert_eq!(by_class, 120, "per-class rows cover the run");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_fleet_rejected() {
+        let _ = Cluster::start(tiles(), Vec::new(), ClusterConfig::default());
+    }
+}

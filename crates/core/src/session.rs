@@ -21,7 +21,7 @@ use crate::backend::{AutoPlanner, Backend, KernelBackend, KernelRegistry};
 use crate::planner::{ExecutionConfig, ExecutionPlanner, WeightExecution};
 use crate::pruner::PrunedModel;
 use crate::tile_matrix::TileWiseMatrix;
-use tw_gpu_sim::{CoreKind, RunCounters, StreamSim};
+use tw_gpu_sim::{Calibration, CoreKind, CostModel, GpuDevice, RunCounters, StreamSim};
 use tw_models::{ModelKind, PrunableGemm, Workload};
 use tw_tensor::Matrix;
 
@@ -140,6 +140,27 @@ impl InferenceSession {
             planner: ExecutionPlanner::v100(),
             exec_config: ExecutionConfig::optimized(CoreKind::TensorCore),
         }
+    }
+
+    /// Re-prices the session on `device` (V100 calibration constants):
+    /// every subsequent [`Self::plan_batch`] / [`Self::dwell_model`] call
+    /// uses that device's cost model, which is how heterogeneous serving
+    /// replicas simulate different accelerator generations behind one
+    /// router.  Devices without tensor cores fall back to CUDA-core
+    /// execution.  Kernel *plans* already resolved (including `Auto`
+    /// selections made at construction) are unchanged — only the pricing
+    /// moves.
+    pub fn with_device(mut self, device: GpuDevice) -> Self {
+        if !device.has_tensor_cores() {
+            self.exec_config = ExecutionConfig::optimized(CoreKind::CudaCore);
+        }
+        self.planner = ExecutionPlanner::new(CostModel::new(device, Calibration::v100_defaults()));
+        self
+    }
+
+    /// The device the session's batches are priced on.
+    pub fn device(&self) -> &GpuDevice {
+        self.planner.cost_model().device()
     }
 
     /// Builds a session from a [`PrunedModel`] produced by the high-level
@@ -337,9 +358,43 @@ pub struct DwellModel {
 }
 
 impl DwellModel {
+    /// A table from explicit per-batch-size prices — `seconds[i]` prices a
+    /// batch of `i + 1` requests.  [`InferenceSession::dwell_model`] is the
+    /// cost-model-backed constructor; this one exists so schedulers and
+    /// tests can probe the prediction math against hand-picked tables.
+    ///
+    /// # Panics
+    /// Panics if `seconds` is empty or contains a negative or non-finite
+    /// price.
+    pub fn from_seconds(seconds: Vec<f64>) -> Self {
+        assert!(!seconds.is_empty(), "dwell model needs at least batch size 1");
+        assert!(
+            seconds.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "dwell prices must be finite and non-negative"
+        );
+        Self { seconds }
+    }
+
     /// Largest batch size the table covers.
     pub fn max_batch(&self) -> usize {
         self.seconds.len()
+    }
+
+    /// Predicted device seconds to clear a backlog of `queued` requests
+    /// batched at `max_batch` across `workers` — the probe a load balancer
+    /// or autoscaler prices a replica's queue with.  Mirrors the admission
+    /// controller's wait prediction: only *full* batches ahead count (a
+    /// request arriving behind a partial batch joins it), and those batches
+    /// spread round-robin over the pool.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` or `workers` is zero.
+    pub fn backlog_seconds(&self, queued: usize, max_batch: usize, workers: usize) -> f64 {
+        assert!(max_batch > 0, "backlog prediction needs a positive batch size");
+        assert!(workers > 0, "backlog prediction needs at least one worker");
+        let full_batches = queued / max_batch;
+        let rounds = full_batches.div_ceil(workers);
+        rounds as f64 * self.seconds_for(max_batch)
     }
 
     /// Simulated device seconds for a batch of `batch_size` requests.
@@ -532,6 +587,50 @@ mod tests {
     #[should_panic(expected = "at least batch size 1")]
     fn zero_dwell_table_rejected() {
         let _ = session(Backend::Dense).dwell_model(0);
+    }
+
+    #[test]
+    fn with_device_reprices_without_replanning() {
+        let tiles = InferenceSession::synthetic_tiles(&[48, 64, 32], 0.6, 16, 42);
+        let v100 = InferenceSession::with_plan(tiles.clone(), &[Backend::TileWise; 2]);
+        let a100 = InferenceSession::with_plan(tiles.clone(), &[Backend::TileWise; 2])
+            .with_device(GpuDevice::a100_like());
+        let midrange = InferenceSession::with_plan(tiles, &[Backend::TileWise; 2])
+            .with_device(GpuDevice::cuda_only_midrange());
+        assert_eq!(v100.device().name, "Tesla V100");
+        assert_eq!(a100.device().name, "A100-like");
+        // The kernel plan is untouched; only the pricing moves.
+        assert_eq!(a100.layer_backends(), v100.layer_backends());
+        // A faster device prices the same batch cheaper, a slower one
+        // costlier.
+        let batch = 8;
+        assert!(a100.simulated_batch_seconds(batch) < v100.simulated_batch_seconds(batch));
+        assert!(midrange.simulated_batch_seconds(batch) > v100.simulated_batch_seconds(batch));
+        // Functional output is identical — the device is a pricing concern.
+        let inputs = Matrix::random_uniform(4, 48, 1.0, 3);
+        assert!(a100
+            .forward_batch(&inputs)
+            .approx_eq(&v100.forward_batch(&inputs), tw_tensor::DEFAULT_TOL));
+    }
+
+    #[test]
+    fn backlog_probe_mirrors_admission_math() {
+        let model = DwellModel::from_seconds(vec![1.0, 1.5, 2.0, 2.5]);
+        assert_eq!(model.max_batch(), 4);
+        // No full batch ahead => no wait.
+        assert_eq!(model.backlog_seconds(3, 4, 2), 0.0);
+        // One full batch over two workers is one round.
+        assert_eq!(model.backlog_seconds(4, 4, 2), 2.5);
+        // Three full batches over two workers are two rounds.
+        assert_eq!(model.backlog_seconds(12, 4, 2), 5.0);
+        // More workers clear the same backlog in fewer rounds.
+        assert!(model.backlog_seconds(16, 4, 4) < model.backlog_seconds(16, 4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_dwell_price_rejected() {
+        let _ = DwellModel::from_seconds(vec![0.5, -1.0]);
     }
 
     #[test]

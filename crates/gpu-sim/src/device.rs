@@ -91,6 +91,38 @@ impl GpuDevice {
         }
     }
 
+    /// An A100-class accelerator (next generation up from the paper's
+    /// V100): 108 SMs, 19.5 TFLOPS FP32 CUDA cores, 312 TFLOPS FP16 tensor
+    /// cores, ~1.56 TB/s HBM2e.  "Like" because the numbers are the public
+    /// datasheet peaks, not a calibrated fit — the profile exists so
+    /// heterogeneous serving replicas can mix device generations.
+    pub fn a100_like() -> Self {
+        Self {
+            name: "A100-like".to_string(),
+            num_sms: 108,
+            cuda_core_flops: 19.5e12,
+            tensor_core_flops: 312.0e12,
+            memory_bandwidth: 1555.0e9,
+            memory_transaction_bytes: 32,
+            kernel_launch_overhead: 2.5e-6,
+            warp_size: 32,
+            max_concurrent_streams: 12,
+            shared_mem_per_sm: 164 * 1024,
+        }
+    }
+
+    /// The canonical CLI slug of this device (`v100`, `a100`, `midrange`),
+    /// or the lowercased name for custom profiles.  Round-trips through
+    /// `"v100".parse::<GpuDevice>()` for the built-in profiles.
+    pub fn slug(&self) -> String {
+        match self.name.as_str() {
+            "Tesla V100" => "v100".to_string(),
+            "A100-like" => "a100".to_string(),
+            "CUDA-only midrange" => "midrange".to_string(),
+            other => other.to_lowercase().replace(' ', "-"),
+        }
+    }
+
     /// Peak throughput (FLOP/s) of the chosen execution unit.
     pub fn peak_flops(&self, core: CoreKind) -> f64 {
         match core {
@@ -108,6 +140,40 @@ impl GpuDevice {
     /// coalesced accesses.
     pub fn coalesced_transactions(&self, bytes: u64) -> u64 {
         bytes.div_ceil(self.memory_transaction_bytes as u64)
+    }
+}
+
+impl std::fmt::Display for GpuDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.slug())
+    }
+}
+
+/// Error for parsing a [`GpuDevice`] from an unknown device name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceParseError(String);
+
+impl std::fmt::Display for DeviceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown device {:?} (expected v100|a100|midrange)", self.0)
+    }
+}
+
+impl std::error::Error for DeviceParseError {}
+
+impl std::str::FromStr for GpuDevice {
+    type Err = DeviceParseError;
+
+    /// Parses the CLI device vocabulary: `v100`, `a100` (the
+    /// [`GpuDevice::a100_like`] profile) and `midrange` (the
+    /// tensor-core-less [`GpuDevice::cuda_only_midrange`] part).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_lowercase().as_str() {
+            "v100" => Ok(Self::v100()),
+            "a100" | "a100-like" => Ok(Self::a100_like()),
+            "midrange" | "cuda-only-midrange" => Ok(Self::cuda_only_midrange()),
+            other => Err(DeviceParseError(other.to_string())),
+        }
     }
 }
 
@@ -132,6 +198,31 @@ mod tests {
         let d = GpuDevice::cuda_only_midrange();
         assert!(!d.has_tensor_cores());
         assert_eq!(d.peak_flops(CoreKind::TensorCore), 0.0);
+    }
+
+    #[test]
+    fn a100_outclasses_v100_everywhere() {
+        let a100 = GpuDevice::a100_like();
+        let v100 = GpuDevice::v100();
+        assert!(a100.has_tensor_cores());
+        assert!(a100.num_sms > v100.num_sms);
+        assert!(a100.cuda_core_flops > v100.cuda_core_flops);
+        assert!(a100.tensor_core_flops > v100.tensor_core_flops);
+        assert!(a100.memory_bandwidth > v100.memory_bandwidth);
+    }
+
+    #[test]
+    fn device_names_round_trip_through_display_and_from_str() {
+        for device in [GpuDevice::v100(), GpuDevice::a100_like(), GpuDevice::cuda_only_midrange()] {
+            let slug = device.to_string();
+            let parsed: GpuDevice = slug.parse().expect("built-in slugs parse");
+            assert_eq!(parsed, device, "{slug} must round-trip");
+        }
+        assert_eq!("v100".parse::<GpuDevice>().unwrap().to_string(), "v100");
+        assert_eq!("A100".parse::<GpuDevice>().unwrap().to_string(), "a100");
+        assert!("h100".parse::<GpuDevice>().is_err());
+        let err = "tpu".parse::<GpuDevice>().unwrap_err();
+        assert!(err.to_string().contains("v100|a100|midrange"), "{err}");
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod stream;
 pub use calibration::Calibration;
 pub use cost::{CostModel, SparseGemmKind, TwExecOptions, TwTileShape};
 pub use counters::{KernelCounters, KernelProfile, RunCounters};
-pub use device::{CoreKind, GpuDevice, Precision};
+pub use device::{CoreKind, DeviceParseError, GpuDevice, Precision};
 pub use occupancy::{tile_quantization_efficiency, wave_quantization_efficiency};
 pub use stream::{StreamSchedule, StreamSim};

@@ -33,10 +33,13 @@ use tilewise::DwellModel;
 #[derive(Clone, Debug)]
 pub struct AdmissionController {
     policy: crate::config::AdmissionConfig,
-    /// Predicted wall-clock seconds one full batch occupies a worker
-    /// (cost-model dwell x configured time scale; `0` when serving
+    /// The session's memoized cost-model table; all wait prediction runs
+    /// through [`DwellModel::backlog_seconds`] so the formula lives in
+    /// exactly one place.
+    dwell: DwellModel,
+    /// Wall-clock seconds per simulated device second (`0` when serving
     /// CPU-only, which disables the wait- and deadline-based policies).
-    batch_wall_s: f64,
+    time_scale: f64,
     max_batch: usize,
     workers: usize,
 }
@@ -45,10 +48,10 @@ impl AdmissionController {
     /// Builds the controller for `config`, pricing batches with `dwell` (the
     /// session's memoized cost-model table).
     pub fn new(config: &ServeConfig, dwell: &DwellModel) -> Self {
-        let time_scale = config.gpu_dwell.map_or(0.0, |d| d.time_scale);
         Self {
             policy: config.admission,
-            batch_wall_s: dwell.seconds_for(config.max_batch_size) * time_scale,
+            dwell: dwell.clone(),
+            time_scale: config.gpu_dwell.map_or(0.0, |d| d.time_scale),
             max_batch: config.max_batch_size,
             workers: config.workers,
         }
@@ -61,19 +64,19 @@ impl AdmissionController {
     }
 
     /// Predicted wall-clock wait before a request admitted behind
-    /// `queue_depth` others starts executing.  Only *full* batches ahead
-    /// count — a request arriving behind a partial batch joins it rather
-    /// than waiting behind it — and those batches spread across the pool.
+    /// `queue_depth` others starts executing: the dwell model's backlog
+    /// prediction ([`DwellModel::backlog_seconds`] — full batches ahead,
+    /// spread over the pool) scaled to wall clock.
     pub fn predicted_wait(&self, queue_depth: usize) -> Duration {
-        let full_batches_ahead = queue_depth / self.max_batch;
-        let rounds = full_batches_ahead.div_ceil(self.workers);
-        Duration::from_secs_f64(rounds as f64 * self.batch_wall_s)
+        Duration::from_secs_f64(
+            self.dwell.backlog_seconds(queue_depth, self.max_batch, self.workers) * self.time_scale,
+        )
     }
 
     /// Predicted wall-clock execution time of the batch the request itself
     /// will ride in (worst case: a full batch).
     pub fn predicted_execution(&self) -> Duration {
-        Duration::from_secs_f64(self.batch_wall_s)
+        Duration::from_secs_f64(self.dwell.seconds_for(self.max_batch) * self.time_scale)
     }
 
     /// `None` to admit, or the reason to shed.  `total_depth` is the whole

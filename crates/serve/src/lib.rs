@@ -244,6 +244,49 @@ impl Server {
         self.queue.len()
     }
 
+    /// `(total queue depth, depth ahead of a new arrival of `class`)` under
+    /// one lock — the routing probe a multi-replica load balancer polls.
+    /// The second component counts the backlog in lanes of the same or
+    /// higher priority, which under strict priority is what the arrival
+    /// would actually wait behind.
+    ///
+    /// # Panics
+    /// Panics if `class` is out of range.
+    pub fn class_depths(&self, class: ClassId) -> (usize, usize) {
+        self.queue.depths(class)
+    }
+
+    /// Cost-model-predicted wall-clock wait a new `class` arrival would
+    /// face behind the current backlog, priced by the session's
+    /// [`tilewise::DwellModel`] and this server's batch size, worker count
+    /// and dwell scale.  Zero when the server dwells no simulated device
+    /// time (the prediction has nothing to price).  This is the probe the
+    /// cluster layer's cost-aware balancer ranks replicas with.
+    ///
+    /// # Panics
+    /// Panics if `class` is out of range.
+    pub fn predicted_wait(&self, class: ClassId) -> std::time::Duration {
+        self.routing_probe(class).2
+    }
+
+    /// The whole routing snapshot — `(total depth, depth ahead of a new
+    /// `class` arrival, predicted wait for that backlog)` — with the queue
+    /// lock taken once.  A cluster router polls every replica per
+    /// submission, so this is the hot-path form of
+    /// [`Server::class_depths`] + [`Server::predicted_wait`].
+    ///
+    /// # Panics
+    /// Panics if `class` is out of range.
+    pub fn routing_probe(&self, class: ClassId) -> (usize, usize, std::time::Duration) {
+        let (total, ahead) = self.queue.depths(class);
+        (total, ahead, self.admission.predicted_wait(ahead))
+    }
+
+    /// Number of requests admitted so far (completed or in flight).
+    pub fn admitted_so_far(&self) -> usize {
+        self.admitted.load(Ordering::Relaxed) as usize
+    }
+
     /// Non-blocking drain of responses completed so far.  Drained responses
     /// remain accounted for in the final [`ServeReport`].
     pub fn drain_responses(&self) -> Vec<InferenceResponse> {
@@ -467,6 +510,40 @@ mod tests {
         assert!(late.is_empty(), "everything was already drained");
         assert_eq!(report.completed, 10);
         assert_eq!(report.latency.count, 10);
+    }
+
+    #[test]
+    fn routing_probes_track_backlog_and_price_it() {
+        // A huge dwell with one worker: submissions pile up behind the
+        // first batch, so the probes must see the backlog grow — and the
+        // interactive lane must report less depth ahead than the batch lane.
+        let config = ServeConfig {
+            workers: 1,
+            max_batch_size: 4,
+            max_batch_wait: Duration::from_millis(1),
+            queue_capacity: 256,
+            gpu_dwell: Some(GpuDwell { time_scale: 5e4 }),
+            classes: vec![
+                ClassPolicy::with_deadline("interactive", Duration::from_secs(30)),
+                ClassPolicy::best_effort("batch"),
+            ],
+            ..ServeConfig::default()
+        };
+        let server = Server::start(session(Backend::TileWise), config);
+        for _ in 0..40 {
+            server.submit_to(1, vec![0.1; 24]).unwrap();
+        }
+        let (total, batch_ahead) = server.class_depths(1);
+        let (_, interactive_ahead) = server.class_depths(0);
+        assert!(total >= 30, "backlog should be visible, saw {total}");
+        assert!(interactive_ahead < batch_ahead, "interactive lane jumps the batch wall");
+        // The cost-aware probe prices the backlog: a batch-lane arrival
+        // waits behind full batches, an interactive arrival behind none.
+        assert!(server.predicted_wait(1) > Duration::ZERO);
+        assert_eq!(server.predicted_wait(0), Duration::ZERO);
+        assert_eq!(server.admitted_so_far(), 40);
+        let (report, _) = server.shutdown();
+        assert_eq!(report.completed, 40);
     }
 
     #[test]

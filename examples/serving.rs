@@ -11,26 +11,10 @@ use tile_wise_repro::prelude::*;
 fn main() {
     // 1. An executable pruned model: three layers at 75% tile-wise sparsity,
     //    with `Backend::Auto` letting the cost model pick each layer's
-    //    kernel family (dense / tile-wise / CSR / BSR) individually.
-    let session = Arc::new(InferenceSession::synthetic_chain(
-        &[256, 256, 128, 32],
-        0.75,
-        32,
-        42,
-        Backend::Auto,
-    ));
-    println!(
-        "serving a {}-layer chain, input dim {}, output dim {}, {:.1}% sparse",
-        session.num_layers(),
-        session.input_dim(),
-        session.output_dim(),
-        session.sparsity() * 100.0,
-    );
-    println!(
-        "auto-planned kernel per layer: [{}] ({} resident weight bytes)",
-        session.plan_summary(),
-        session.resident_bytes(),
-    );
+    //    kernel family (dense / tile-wise / CSR / BSR) individually — the
+    //    shared demo setup all serving examples use.
+    let session = tile_wise_repro::demo::announced_session(&[256, 256, 128, 32]);
+    println!("{} resident weight bytes", session.resident_bytes());
 
     // 2. Start the runtime: batches of up to 16 requests, 2 ms wait budget,
     //    3 workers, and a simulated-GPU dwell replaying the modelled V100

@@ -10,14 +10,9 @@ use std::time::Duration;
 use tile_wise_repro::prelude::*;
 
 fn main() {
-    // An auto-planned pruned model, exactly as `examples/serving.rs` builds.
-    let session =
-        Arc::new(InferenceSession::synthetic_chain(&[128, 128, 64], 0.75, 32, 42, Backend::Auto));
-    println!(
-        "serving a {}-layer chain (plan [{}]) under open-loop traffic\n",
-        session.num_layers(),
-        session.plan_summary(),
-    );
+    // The shared demo model, exactly as `examples/serving.rs` builds it.
+    let session = tile_wise_repro::demo::announced_session(&[128, 128, 64]);
+    println!();
 
     // Offered load is deliberately above what 2 workers can sustain with
     // this dwell, so the scenarios exhibit queueing, priority inversionless

@@ -1,0 +1,83 @@
+//! Property tests for `tw_models::traffic`: every arrival process must
+//! *preserve the nominal mean arrival rate* across seeds and rates, so that
+//! scenario comparisons at one `--rate` (steady vs bursty vs heavy-tail)
+//! measure the arrival *shape*, never accidental extra load.
+//!
+//! Tolerances differ by process because their estimators converge at very
+//! different speeds: Poisson averages i.i.d. exponential gaps (tight), the
+//! bursty MMPP only converges over many ON/OFF cycles (looser), and Pareto
+//! gap sums converge at a heavy-tail rate of `n^(1/alpha - 1)` (loosest —
+//! pinned to a factor band rather than a percentage).
+
+use proptest::prelude::*;
+use std::time::Duration;
+use tile_wise_repro::prelude::*;
+
+fn observed_rate(spec: &TrafficSpec) -> f64 {
+    let schedule = spec.schedule();
+    assert_eq!(schedule.len(), spec.requests);
+    assert!(schedule.windows(2).all(|w| w[0].at <= w[1].at), "offsets must be non-decreasing");
+    TrafficSpec::observed_rate(&schedule)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Poisson: 4000 i.i.d. exponential gaps put the observed mean rate
+    /// within 15% of nominal for any rate and seed.
+    #[test]
+    fn poisson_preserves_nominal_mean_rate(
+        rate in 200.0f64..4000.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = TrafficSpec::steady(rate, Duration::from_millis(50), 4000, 4, seed);
+        let observed = observed_rate(&spec);
+        prop_assert!(
+            (observed - rate).abs() < rate * 0.15,
+            "Poisson rate {rate} seed {seed}: observed {observed}"
+        );
+    }
+
+    /// Bursty MMPP: the ON/OFF weights are chosen so the *mean* offered
+    /// rate equals the nominal rate.  The estimate converges per ON/OFF
+    /// cycle (~2s each), so size the run to ~60 simulated seconds and
+    /// accept 35%.
+    #[test]
+    fn bursty_preserves_nominal_mean_rate(
+        rate in 400.0f64..900.0,
+        seed in any::<u64>(),
+    ) {
+        let requests = (rate * 60.0) as usize;
+        let spec = TrafficSpec::bursty(rate, Duration::from_millis(50), requests, 4, seed);
+        let observed = observed_rate(&spec);
+        prop_assert!(
+            (observed - rate).abs() < rate * 0.35,
+            "bursty rate {rate} seed {seed}: observed {observed}"
+        );
+    }
+
+    /// Pareto: the scale is solved so the analytic mean gap is `1/rate`,
+    /// but a heavy-tail mean estimator converges like `n^(1/alpha - 1)` —
+    /// pin a factor-3 band around nominal (still tight enough to catch a
+    /// mis-derived scale, which is off by `alpha/(alpha-1)` >= 2x).
+    #[test]
+    fn pareto_preserves_nominal_mean_rate_within_a_band(
+        rate in 200.0f64..2000.0,
+        alpha in 1.4f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = TrafficSpec {
+            process: ArrivalProcess::Pareto { rate, alpha },
+            classes: vec![TrafficClass::interactive(0.3, Duration::from_millis(50)),
+                          TrafficClass::batch(0.7)],
+            requests: 20_000,
+            input_dim: 4,
+            seed,
+        };
+        let observed = observed_rate(&spec);
+        prop_assert!(
+            observed > rate / 3.0 && observed < rate * 3.0,
+            "Pareto rate {rate} alpha {alpha} seed {seed}: observed {observed}"
+        );
+    }
+}
