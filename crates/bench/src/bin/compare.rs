@@ -171,7 +171,11 @@ fn main() {
     }
     for cur in &current {
         if !baseline.iter().any(|b| b.key() == cur.key()) {
-            eprintln!("note {}: new run not in baseline (not gated)", cur.key());
+            eprintln!(
+                "WARN {}: no baseline entry for this (scenario, backend, workers) key — run NOT \
+                 gated; add it to the baseline file to start gating it",
+                cur.key()
+            );
         }
     }
 

@@ -43,22 +43,33 @@ use tilewise::{AutoPlanner, Backend, InferenceSession, KernelRegistry, TileWiseM
 use tw_bench::{csv_header, csv_row, fmt, json, report};
 use tw_cluster::{AutoscalerConfig, BalancerKind, Cluster, ClusterConfig, ReplicaSpec};
 use tw_gpu_sim::GpuDevice;
+use tw_memory::{ModelRegistry, PolicyKind};
 use tw_models::{RequestGenerator, TrafficSpec};
-use tw_serve::{serve_closed_loop, serve_open_loop, AdmissionConfig, GpuDwell, ServeConfig};
+use tw_serve::{
+    serve_closed_loop, serve_closed_loop_models, serve_open_loop, serve_open_loop_models,
+    AdmissionConfig, GpuDwell, MemoryConfig, ServeConfig,
+};
 
 const USAGE: &str = "usage: serving [--requests N] [--batch N] [--wait-ms MS] \
 [--workers A,B,..] [--dims D0,D1,..] [--sparsity F] [--granularity N] \
 [--backend dense|tw|csr|bsr|auto[,..]] [--sweep-backends] [--dwell-ms MS] \
 [--scenario closed|steady|bursty|heavy-tail|mixed-priority] [--rate RPS] \
 [--slo-ms MS] [--shed-depth N] [--wait-budget-ms MS] [--shed-hopeless] \
-[--replicas N] [--balancer rr|jsq|p2c|least-wait[,..]] [--heterogeneous] \
+[--replicas N] [--balancer rr|jsq|p2c|least-wait|residency[,..]] [--heterogeneous] \
 [--device v100|a100|midrange[,..]] [--autoscale] \
+[--models N] [--vram-mb MB] [--mem-policy lru|cost-aware] \
 [--seed N] [--json PATH]
 
 With --replicas >= 2 the benchmark serves the (open-loop) scenario through a
 tw-cluster fleet instead of a single server, once per --balancer policy.
 Homogeneous fleets take the first --workers/--backend/--device entry for
-every replica; --heterogeneous cycles all three lists across replicas.";
+every replica; --heterogeneous cycles all three lists across replicas.
+
+With --models >= 2 the benchmark hosts N independently-pruned models behind
+one server (or fleet), assigning requests round-robin across them; --vram-mb
+caps device memory so weight tiles page over PCIe (tw-memory), making
+cold-start vs warm latency visible per model.  Gate records key such runs as
+backend \"mmN-<backend>\".";
 
 /// Reports a usage error on stderr and exits non-zero — the benchmark is a
 /// CLI, so malformed flags should produce a readable message, not a panic
@@ -124,6 +135,9 @@ struct Options {
     heterogeneous: bool,
     devices: Vec<GpuDevice>,
     autoscale: bool,
+    models: usize,
+    vram_mb: Option<f64>,
+    mem_policy: Option<PolicyKind>,
     seed: u64,
     json_path: Option<String>,
 }
@@ -151,6 +165,9 @@ impl Default for Options {
             heterogeneous: false,
             devices: vec![GpuDevice::v100()],
             autoscale: false,
+            models: 1,
+            vram_mb: None,
+            mem_policy: None,
             seed: 42,
             json_path: None,
         }
@@ -237,6 +254,13 @@ fn parse_args() -> Options {
                 }
             }
             "--autoscale" => opts.autoscale = true,
+            "--models" => opts.models = parse("--models", &value("--models"), "an integer"),
+            "--vram-mb" => {
+                opts.vram_mb = Some(parse("--vram-mb", &value("--vram-mb"), "a number"));
+            }
+            "--mem-policy" => {
+                opts.mem_policy = Some(value("--mem-policy").parse().unwrap_or_else(|e| fail(e)));
+            }
             "--seed" => opts.seed = parse("--seed", &value("--seed"), "an integer"),
             "--json" => opts.json_path = Some(value("--json")),
             other => fail(format!("unknown flag {other:?}")),
@@ -289,6 +313,17 @@ fn parse_args() -> Options {
     if (opts.heterogeneous || opts.autoscale) && opts.replicas < 2 {
         fail("--heterogeneous/--autoscale only apply with --replicas >= 2");
     }
+    if opts.models == 0 {
+        fail("--models must be at least 1");
+    }
+    if let Some(mb) = opts.vram_mb {
+        if !mb.is_finite() || mb <= 0.0 {
+            fail("--vram-mb must be a positive number");
+        }
+    }
+    if opts.mem_policy.is_some() && opts.vram_mb.is_none() {
+        fail("--mem-policy only applies with --vram-mb (no paging without a VRAM cap)");
+    }
     opts
 }
 
@@ -322,6 +357,36 @@ fn admission_config(opts: &Options) -> AdmissionConfig {
     }
 }
 
+/// VRAM residency management: active exactly when `--vram-mb` caps device
+/// memory.
+fn memory_config(opts: &Options) -> Option<MemoryConfig> {
+    opts.vram_mb.map(|mb| MemoryConfig {
+        vram_bytes: Some((mb * (1u64 << 20) as f64) as u64),
+        policy: opts.mem_policy.unwrap_or(PolicyKind::Lru),
+        ..MemoryConfig::default()
+    })
+}
+
+/// The gate key's backend string: multi-model runs are keyed apart
+/// (`mm2-auto`) so they get their own baseline entries.
+fn backend_label(opts: &Options, backend: Backend) -> String {
+    if opts.models > 1 {
+        format!("mm{}-{}", opts.models, backend)
+    } else {
+        backend.to_string()
+    }
+}
+
+/// Which model each request targets, cycled by submission index: *blocks*
+/// of `4 x max_batch` per model rather than per-request alternation, so
+/// model-pure batches still fill and each block's later batches can run
+/// warm — per-request alternation would degenerate every batch to a
+/// singleton and hide the cold/warm split the run exists to measure.
+fn model_assignment(opts: &Options) -> Vec<usize> {
+    let block = opts.max_batch * 4;
+    (0..opts.models).flat_map(|m| vec![m; block]).collect()
+}
+
 /// The replica fleet a cluster run serves: homogeneous fleets take the
 /// first `--workers`/`--backend`/`--device` entry everywhere, heterogeneous
 /// ones cycle all three lists so the fleet mixes worker counts, kernel
@@ -343,23 +408,38 @@ fn replica_specs(opts: &Options, time_scale: f64) -> Vec<ReplicaSpec> {
 
 /// Serves the scenario through a `tw-cluster` fleet, once per balancer
 /// policy, printing one CSV row per run and returning the JSON run records.
-fn run_cluster(opts: &Options, tiles: &[TileWiseMatrix], time_scale: f64) -> Vec<String> {
-    let spec = traffic_spec(opts, tiles[0].k())
+fn run_cluster(
+    opts: &Options,
+    model_tiles: &[(String, Vec<TileWiseMatrix>)],
+    time_scale: f64,
+) -> Vec<String> {
+    let spec = traffic_spec(opts, model_tiles[0].1[0].k())
         .unwrap_or_else(|| fail("--replicas needs an open-loop scenario"));
     let schedule = spec.schedule();
     let specs = replica_specs(opts, time_scale);
+    // Requests cycle across the hosted models in batch-sized blocks.
+    let assignment = model_assignment(opts);
     eprintln!(
-        "# cluster: {} replica(s) [{}]",
+        "# cluster: {} replica(s) [{}], {} model(s)",
         specs.len(),
         specs
             .iter()
             .map(|s| format!("{}:{}x{} on {}", s.name, s.workers, s.backend, s.device))
             .collect::<Vec<_>>()
             .join(", "),
+        opts.models,
     );
 
     let mut records = Vec::new();
     for &balancer in &opts.balancers {
+        // The gate key: multi-model cluster runs are keyed apart, exactly
+        // like single-server ones (a paging fleet must never share a
+        // baseline entry with a single-model fleet).
+        let label = if opts.models > 1 {
+            format!("mm{}-cluster-{balancer}", opts.models)
+        } else {
+            format!("cluster-{balancer}")
+        };
         let mut config = ClusterConfig {
             max_batch_size: opts.max_batch,
             max_batch_wait: Duration::from_secs_f64(opts.wait_ms * 1e-3),
@@ -369,6 +449,7 @@ fn run_cluster(opts: &Options, tiles: &[TileWiseMatrix], time_scale: f64) -> Vec
             admission: admission_config(opts),
             balancer,
             balancer_seed: opts.seed,
+            memory: memory_config(opts),
             ..ClusterConfig::default()
         }
         .with_traffic_classes(&spec.classes);
@@ -383,8 +464,8 @@ fn run_cluster(opts: &Options, tiles: &[TileWiseMatrix], time_scale: f64) -> Vec
                 template: specs[0].clone(),
             });
         }
-        let mut cluster = Cluster::start(tiles.to_vec(), specs.clone(), config);
-        cluster.replay(&schedule);
+        let mut cluster = Cluster::start_models(model_tiles.to_vec(), specs.clone(), config);
+        cluster.replay_assigned(&schedule, &assignment);
         let report = cluster.shutdown();
         assert_eq!(
             report.completed + report.shed,
@@ -394,7 +475,7 @@ fn run_cluster(opts: &Options, tiles: &[TileWiseMatrix], time_scale: f64) -> Vec
 
         csv_row(&[
             opts.scenario.as_str().to_string(),
-            format!("cluster-{balancer}"),
+            label.clone(),
             report.replicas.iter().map(|r| r.plan.join("+")).collect::<Vec<_>>().join("|"),
             report.replicas.iter().map(|r| r.workers).sum::<usize>().to_string(),
             report.completed.to_string(),
@@ -414,10 +495,13 @@ fn run_cluster(opts: &Options, tiles: &[TileWiseMatrix], time_scale: f64) -> Vec
         for line in report.class_summary() {
             eprintln!("#   {line}");
         }
+        for line in report.model_summary() {
+            eprintln!("#   {line}");
+        }
         for event in &report.scale_events {
             eprintln!("#   scale: {event}");
         }
-        records.push(report::cluster_run(opts.scenario.as_str(), &report));
+        records.push(report::cluster_run(opts.scenario.as_str(), &label, &report));
     }
     records
 }
@@ -426,15 +510,23 @@ fn main() {
     let opts = parse_args();
 
     eprintln!(
-        "# serving {} requests | scenario {} | model {:?} @ {:.0}% target sparsity | backends [{}] | batch<={} wait {}ms | dwell {}ms/batch",
+        "# serving {} requests | scenario {} | {} model(s) {:?} @ {:.0}% target sparsity | backends [{}] | batch<={} wait {}ms | dwell {}ms/batch{}",
         opts.requests,
         opts.scenario.as_str(),
+        opts.models,
         opts.dims,
         opts.sparsity * 100.0,
         opts.backends.iter().map(Backend::as_str).collect::<Vec<_>>().join(","),
         opts.max_batch,
         opts.wait_ms,
         opts.dwell_ms,
+        match opts.vram_mb {
+            Some(mb) => format!(
+                " | VRAM {mb} MiB ({} eviction)",
+                opts.mem_policy.unwrap_or(PolicyKind::Lru)
+            ),
+            None => String::new(),
+        },
     );
 
     csv_header(&[
@@ -453,11 +545,24 @@ fn main() {
         "sim_gpu_s",
     ]);
 
-    // One pruned model shared by every backend run (the tiles are the
-    // deterministic source of truth; only the kernel binding differs), and
-    // one auto-planner priced at the batch size actually benchmarked.
-    let tiles =
-        InferenceSession::synthetic_tiles(&opts.dims, opts.sparsity, opts.granularity, opts.seed);
+    // One pruned tile set per hosted model, shared by every backend run
+    // (the tiles are the deterministic source of truth; only the kernel
+    // binding differs), and one auto-planner priced at the batch size
+    // actually benchmarked.  Model seeds are spread out so the hosted
+    // models are genuinely different weights of the same architecture.
+    let model_tiles: Vec<(String, Vec<TileWiseMatrix>)> = (0..opts.models)
+        .map(|i| {
+            let seed = opts.seed + 1000 * i as u64;
+            let tiles = InferenceSession::synthetic_tiles(
+                &opts.dims,
+                opts.sparsity,
+                opts.granularity,
+                seed,
+            );
+            (format!("m{i}"), tiles)
+        })
+        .collect();
+    let tiles = model_tiles[0].1.clone();
     let num_layers = tiles.len();
     let registry = KernelRegistry::standard();
     let auto = AutoPlanner::v100(opts.max_batch);
@@ -481,9 +586,9 @@ fn main() {
     };
 
     let records: Vec<String> = if opts.replicas > 1 {
-        run_cluster(&opts, &tiles, gpu_dwell.map_or(0.0, |d| d.time_scale))
+        run_cluster(&opts, &model_tiles, gpu_dwell.map_or(0.0, |d| d.time_scale))
     } else {
-        run_single_server(&opts, &tiles, &registry, &auto, gpu_dwell)
+        run_single_server(&opts, &model_tiles, &registry, &auto, gpu_dwell)
     };
 
     if let Some(path) = &opts.json_path {
@@ -509,31 +614,49 @@ fn main() {
 }
 
 /// The single-server path: one run per (backend, worker count), as before
-/// the cluster layer existed.  Returns the JSON run records.
+/// the cluster layer existed — now hosting `--models` registered models
+/// behind each server, with optional VRAM paging.  Returns the JSON run
+/// records.
 fn run_single_server(
     opts: &Options,
-    tiles: &[TileWiseMatrix],
+    model_tiles: &[(String, Vec<TileWiseMatrix>)],
     registry: &KernelRegistry,
     auto: &AutoPlanner,
     gpu_dwell: Option<GpuDwell>,
 ) -> Vec<String> {
-    let num_layers = tiles.len();
+    let num_layers = model_tiles[0].1.len();
+    let memory = memory_config(opts);
     let mut records: Vec<String> = Vec::new();
     for &backend in &opts.backends {
-        let session = Arc::new(InferenceSession::with_plan_in(
-            tiles.to_vec(),
-            &vec![backend; num_layers],
-            registry,
-            auto,
-        ));
+        let sessions: Vec<Arc<InferenceSession>> = model_tiles
+            .iter()
+            .map(|(_, tiles)| {
+                Arc::new(InferenceSession::with_plan_in(
+                    tiles.to_vec(),
+                    &vec![backend; num_layers],
+                    registry,
+                    auto,
+                ))
+            })
+            .collect();
+        let session = Arc::clone(&sessions[0]);
         eprintln!(
-            "# backend {}: plan [{}] | {:.1}% achieved sparsity | {} resident weight bytes | batching win {:.2}x over 4 streams",
+            "# backend {}: plan [{}] | {:.1}% achieved sparsity | {} resident weight bytes x {} model(s) | batching win {:.2}x over 4 streams",
             backend,
             session.plan_summary(),
             session.sparsity() * 100.0,
             session.resident_bytes(),
+            sessions.len(),
             session.batching_speedup(opts.max_batch, 4),
         );
+        // Hosted models behind one server, ids in `model_tiles` order.
+        let build_registry = || {
+            let mut model_registry = ModelRegistry::new();
+            for ((name, _), session) in model_tiles.iter().zip(&sessions) {
+                model_registry.register(name.clone(), 1, Arc::clone(session));
+            }
+            model_registry
+        };
 
         let spec = traffic_spec(opts, session.input_dim());
         // One schedule per backend: every worker count replays the exact
@@ -541,6 +664,7 @@ fn run_single_server(
         let schedule = spec.as_ref().map(|s| s.schedule());
         let mut generator = RequestGenerator::new(session.input_dim(), 1.0, opts.seed);
         let mut throughputs: Vec<(usize, f64)> = Vec::new();
+        let label = backend_label(opts, backend);
         for &workers in &opts.workers {
             let mut config = ServeConfig {
                 max_batch_size: opts.max_batch,
@@ -548,12 +672,23 @@ fn run_single_server(
                 workers,
                 queue_capacity: (opts.max_batch * workers * 4).max(64),
                 gpu_dwell,
+                memory,
                 ..ServeConfig::default()
             };
             let report = match &spec {
                 None => {
                     let payloads = generator.payloads(opts.requests);
-                    let (report, _) = serve_closed_loop(Arc::clone(&session), config, payloads);
+                    let report = if opts.models == 1 && memory.is_none() {
+                        serve_closed_loop(Arc::clone(&session), config, payloads).0
+                    } else {
+                        serve_closed_loop_models(
+                            build_registry(),
+                            config,
+                            payloads,
+                            &model_assignment(opts),
+                        )
+                        .0
+                    };
                     assert_eq!(
                         report.completed, opts.requests,
                         "lost requests at {workers} workers ({backend})"
@@ -568,7 +703,17 @@ fn run_single_server(
                         config.queue_capacity = config.queue_capacity.max(depth);
                     }
                     let schedule = schedule.as_deref().expect("schedule exists with a spec");
-                    let (report, _) = serve_open_loop(Arc::clone(&session), config, schedule);
+                    let report = if opts.models == 1 && memory.is_none() {
+                        serve_open_loop(Arc::clone(&session), config, schedule).0
+                    } else {
+                        serve_open_loop_models(
+                            build_registry(),
+                            config,
+                            schedule,
+                            &model_assignment(opts),
+                        )
+                        .0
+                    };
                     assert_eq!(
                         report.completed + report.shed,
                         opts.requests,
@@ -579,7 +724,7 @@ fn run_single_server(
             };
             csv_row(&[
                 opts.scenario.as_str().to_string(),
-                backend.to_string(),
+                label.clone(),
                 // '+'-joined so the plan stays one CSV field.
                 session.layer_backends().join("+"),
                 workers.to_string(),
@@ -596,13 +741,11 @@ fn run_single_server(
             for line in report.class_summary() {
                 eprintln!("#   [{} workers] {line}", workers);
             }
+            for line in report.model_summary() {
+                eprintln!("#   [{} workers] {line}", workers);
+            }
             throughputs.push((workers, report.throughput_rps()));
-            records.push(report::serve_run(
-                opts.scenario.as_str(),
-                backend.as_str(),
-                workers,
-                &report,
-            ));
+            records.push(report::serve_run(opts.scenario.as_str(), &label, workers, &report));
         }
 
         // Scaling verdict over the sorted worker counts actually measured

@@ -345,6 +345,20 @@ pub mod report {
         }))
     }
 
+    fn model_rows(models: &[tw_serve::ModelStats]) -> String {
+        json::array(models.iter().map(|m| {
+            json::object(&[
+                ("name", json::string(&m.name)),
+                ("completed", m.completed.to_string()),
+                ("cold", m.cold.to_string()),
+                ("tile_hit_rate", json::number(m.tile_hit_rate())),
+                ("bytes_paged", m.bytes_paged.to_string()),
+                ("warm_p99_ms", json::number(m.warm_latency.p99_s * 1e3)),
+                ("cold_p99_ms", json::number(m.cold_latency.p99_s * 1e3)),
+            ])
+        }))
+    }
+
     /// One single-server run.  `scenario`, `backend` and `workers` are the
     /// key the perf-regression gate matches runs by.
     pub fn serve_run(
@@ -353,7 +367,7 @@ pub mod report {
         workers: usize,
         report: &ServeReport,
     ) -> String {
-        json::object(&[
+        let mut fields = vec![
             ("scenario", json::string(scenario)),
             ("backend", json::string(backend)),
             ("plan", json::array(report.backend_plan.iter().map(|p| json::string(p)))),
@@ -368,13 +382,22 @@ pub mod report {
             ("mean_batch", json::number(report.mean_batch_size())),
             ("sim_gpu_s", json::number(report.sim_gpu_s)),
             ("classes", class_rows(&report.classes)),
-        ])
+        ];
+        if !report.models.is_empty() {
+            fields.push(("bytes_paged", report.bytes_paged.to_string()));
+            fields.push(("transfer_sim_s", json::number(report.transfer_sim_s)));
+            fields.push(("models", model_rows(&report.models)));
+        }
+        json::object(&fields)
     }
 
     /// One cluster run, gate-compatible: the gate key is
-    /// `(scenario, "cluster-<balancer>", total workers)`, and the record
-    /// adds balance skew, scale events and one row per replica.
-    pub fn cluster_run(scenario: &str, report: &ClusterReport) -> String {
+    /// `(scenario, backend, total workers)` with `backend` supplied by the
+    /// caller (`cluster-<balancer>`, or `mmN-cluster-<balancer>` for
+    /// multi-model runs so paging fleets never share a baseline entry with
+    /// single-model ones), and the record adds balance skew, scale events
+    /// and one row per replica.
+    pub fn cluster_run(scenario: &str, backend: &str, report: &ClusterReport) -> String {
         let replicas = json::array(report.replicas.iter().map(|r| {
             json::object(&[
                 ("name", json::string(&r.name)),
@@ -388,9 +411,9 @@ pub mod report {
             ])
         }));
         let total_workers: usize = report.replicas.iter().map(|r| r.workers).sum();
-        json::object(&[
+        let mut fields = vec![
             ("scenario", json::string(scenario)),
-            ("backend", json::string(&format!("cluster-{}", report.balancer))),
+            ("backend", json::string(backend)),
             ("balancer", json::string(&report.balancer)),
             ("workers", total_workers.to_string()),
             ("requests", report.completed.to_string()),
@@ -406,7 +429,12 @@ pub mod report {
             ("scale_events", json::array(report.scale_events.iter().map(|e| json::string(e)))),
             ("classes", class_rows(&report.classes)),
             ("replicas", replicas),
-        ])
+        ];
+        if !report.models.is_empty() {
+            fields.push(("bytes_paged", report.bytes_paged().to_string()));
+            fields.push(("models", model_rows(&report.models)));
+        }
+        json::object(&fields)
     }
 }
 
@@ -519,9 +547,27 @@ mod tests {
             ClassPolicy::best_effort("batch"),
         ];
         let observations = vec![
-            RunObservation { class: 0, latency_s: 0.010, deadline_met: Some(true) },
-            RunObservation { class: 1, latency_s: 0.200, deadline_met: None },
-            RunObservation { class: 1, latency_s: 0.300, deadline_met: None },
+            RunObservation {
+                class: 0,
+                model: 0,
+                cold: false,
+                latency_s: 0.010,
+                deadline_met: Some(true),
+            },
+            RunObservation {
+                class: 1,
+                model: 0,
+                cold: false,
+                latency_s: 0.200,
+                deadline_met: None,
+            },
+            RunObservation {
+                class: 1,
+                model: 0,
+                cold: false,
+                latency_s: 0.300,
+                deadline_met: None,
+            },
         ];
         let shed = vec![ShedRecord { id: 9, class: 0, reason: ShedReason::Deadline }];
         let report = ServeReport::from_observations(
@@ -580,11 +626,12 @@ mod tests {
             wall: Duration::from_secs(1),
             latency: LatencySummary::from_samples(vec![0.01; 30]),
             classes: Vec::new(),
+            models: Vec::new(),
             replicas: vec![replica("r0", 4, 20), replica("r1", 1, 10)],
             scale_events: vec!["+auto-1 at submission 12 (fleet depth 40, 3 live)".into()],
         };
 
-        let doc = report::cluster_run("bursty", &report);
+        let doc = report::cluster_run("bursty", "cluster-jsq", &report);
         let parsed = json::parse(&doc).expect("emitted record parses");
         assert_eq!(parsed.get("backend").unwrap().as_str(), Some("cluster-jsq"));
         assert_eq!(parsed.get("balancer").unwrap().as_str(), Some("jsq"));

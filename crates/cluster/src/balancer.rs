@@ -18,6 +18,10 @@
 //!   `Server::predicted_wait`): batches ahead x that replica's batch dwell /
 //!   its worker count.  The only policy that sees *heterogeneity* — a deep
 //!   queue on a fast wide replica can still be the cheapest seat.
+//! * [`ResidencyAware`] — the memory-aware policy: prefers replicas where
+//!   the request's *model* is already warm in VRAM (affinity routing), so
+//!   a paging fleet stops thrashing tiles back and forth; queue depth
+//!   breaks ties among equally-warm replicas.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +41,11 @@ pub struct ReplicaProbe {
     pub predicted_wait_s: f64,
     /// The replica's worker count (its drain rate, in batches per round).
     pub workers: usize,
+    /// The model the routed request targets (`0` on single-model fleets).
+    pub model: usize,
+    /// Fraction of the routed request's model bytes resident in this
+    /// replica's VRAM (`1.0` when the replica does not page).
+    pub warm_fraction: f64,
 }
 
 /// A routing policy over live replicas.
@@ -48,6 +57,15 @@ pub struct ReplicaProbe {
 pub trait LoadBalancer: Send {
     /// Short policy name, carried into reports.
     fn name(&self) -> &'static str;
+
+    /// Whether this policy reads [`ReplicaProbe::warm_fraction`].  Probing
+    /// warmth costs a tile-cache lock (contended by the replica's own
+    /// workers) plus a tile-list scan *per replica per submission*, so the
+    /// cluster only pays it for policies that return `true` — every other
+    /// probe carries `1.0`.  Default: `false`.
+    fn needs_warmth(&self) -> bool {
+        false
+    }
 
     /// Chooses the replica for one submission.
     ///
@@ -169,6 +187,58 @@ impl LoadBalancer for LeastPredictedWait {
     }
 }
 
+/// Routes to the replica where the request's model is warmest in VRAM —
+/// affinity routing for paging fleets.  Replicas within
+/// [`ResidencyAware::WARMTH_TOLERANCE`] of the warmest are considered
+/// equally warm, and the shallowest queue among them wins (so two replicas
+/// both holding the model still share load instead of one wedging).
+///
+/// When *no* replica is meaningfully warm (below
+/// [`ResidencyAware::MIN_WARMTH`], e.g. the model's first touch, or a
+/// fleet thrashed by an earlier load-blind policy), depth-based
+/// tie-breaking would split the cold model across replicas and page it
+/// everywhere — so instead the policy seeds affinity deterministically by
+/// hashing the model over the live fleet (`model % replicas`).  Each model
+/// thereafter finds its home replica warm and sticks to it.
+///
+/// On a fleet without memory management every probe reports `1.0` and the
+/// policy degenerates to JSQ.
+#[derive(Debug, Default)]
+pub struct ResidencyAware;
+
+impl ResidencyAware {
+    /// Warmth slack within which replicas count as equally warm.
+    pub const WARMTH_TOLERANCE: f64 = 0.05;
+    /// Below this best-replica warmth the model counts as cold everywhere
+    /// and affinity is seeded by `model % replicas` instead of queue depth.
+    pub const MIN_WARMTH: f64 = 0.5;
+}
+
+impl LoadBalancer for ResidencyAware {
+    fn name(&self) -> &'static str {
+        "residency"
+    }
+
+    fn needs_warmth(&self) -> bool {
+        true
+    }
+
+    fn pick(&mut self, probes: &[ReplicaProbe]) -> usize {
+        assert!(!probes.is_empty(), "cannot route without replicas");
+        let warmest = probes.iter().map(|p| p.warm_fraction).fold(f64::NEG_INFINITY, f64::max);
+        if warmest < Self::MIN_WARMTH {
+            return probes[0].model % probes.len();
+        }
+        probes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.warm_fraction >= warmest - Self::WARMTH_TOLERANCE)
+            .min_by_key(|(i, p)| (p.queue_depth, p.depth_ahead, *i))
+            .map(|(i, _)| i)
+            .expect("the warmest probe always qualifies")
+    }
+}
+
 /// The built-in balancer vocabulary, parseable from CLI flags.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BalancerKind {
@@ -180,15 +250,18 @@ pub enum BalancerKind {
     PowerOfTwoChoices,
     /// [`LeastPredictedWait`].
     LeastPredictedWait,
+    /// [`ResidencyAware`].
+    ResidencyAware,
 }
 
 impl BalancerKind {
     /// Every built-in policy, in the order benchmarks sweep them.
-    pub const ALL: [BalancerKind; 4] = [
+    pub const ALL: [BalancerKind; 5] = [
         BalancerKind::RoundRobin,
         BalancerKind::JoinShortestQueue,
         BalancerKind::PowerOfTwoChoices,
         BalancerKind::LeastPredictedWait,
+        BalancerKind::ResidencyAware,
     ];
 
     /// The canonical flag spelling.
@@ -198,6 +271,7 @@ impl BalancerKind {
             BalancerKind::JoinShortestQueue => "jsq",
             BalancerKind::PowerOfTwoChoices => "p2c",
             BalancerKind::LeastPredictedWait => "least-wait",
+            BalancerKind::ResidencyAware => "residency",
         }
     }
 
@@ -209,6 +283,7 @@ impl BalancerKind {
             BalancerKind::JoinShortestQueue => Box::new(JoinShortestQueue),
             BalancerKind::PowerOfTwoChoices => Box::new(PowerOfTwoChoices::new(seed)),
             BalancerKind::LeastPredictedWait => Box::new(LeastPredictedWait),
+            BalancerKind::ResidencyAware => Box::new(ResidencyAware),
         }
     }
 }
@@ -225,7 +300,7 @@ pub struct BalancerParseError(String);
 
 impl std::fmt::Display for BalancerParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "unknown balancer {:?} (expected rr|jsq|p2c|least-wait)", self.0)
+        write!(f, "unknown balancer {:?} (expected rr|jsq|p2c|least-wait|residency)", self.0)
     }
 }
 
@@ -240,6 +315,7 @@ impl std::str::FromStr for BalancerKind {
             "jsq" | "shortest-queue" => Ok(BalancerKind::JoinShortestQueue),
             "p2c" | "power-of-two" => Ok(BalancerKind::PowerOfTwoChoices),
             "least-wait" | "lpw" | "least-predicted-wait" => Ok(BalancerKind::LeastPredictedWait),
+            "residency" | "affinity" | "residency-aware" => Ok(BalancerKind::ResidencyAware),
             other => Err(BalancerParseError(other.to_string())),
         }
     }
@@ -262,6 +338,8 @@ mod tests {
             depth_ahead: ahead,
             predicted_wait_s: wait,
             workers,
+            model: 0,
+            warm_fraction: 1.0,
         }
     }
 
@@ -321,6 +399,54 @@ mod tests {
     }
 
     #[test]
+    fn residency_prefers_warm_replicas_and_splits_ties_by_depth() {
+        let warm = |replica, depth, fraction| ReplicaProbe {
+            replica,
+            queue_depth: depth,
+            depth_ahead: depth,
+            predicted_wait_s: 0.0,
+            workers: 1,
+            model: 0,
+            warm_fraction: fraction,
+        };
+        let mut residency = ResidencyAware;
+        // The warm replica wins even with a deeper queue — paging costs
+        // more than queueing here.
+        let probes = vec![warm(0, 1, 0.0), warm(1, 6, 1.0)];
+        assert_eq!(residency.pick(&probes), 1);
+        // Two equally-warm replicas share load by queue depth.
+        let probes = vec![warm(0, 5, 1.0), warm(1, 2, 0.98), warm(2, 9, 0.4)];
+        assert_eq!(residency.pick(&probes), 1, "within tolerance, shallow queue wins");
+        // On a non-paging fleet (all 1.0) it degenerates to JSQ.
+        let probes = vec![warm(0, 4, 1.0), warm(1, 2, 1.0), warm(2, 3, 1.0)];
+        assert_eq!(residency.pick(&probes), 1);
+    }
+
+    #[test]
+    fn residency_seeds_cold_models_deterministically() {
+        let cold = |replica, depth, model| ReplicaProbe {
+            replica,
+            queue_depth: depth,
+            depth_ahead: depth,
+            predicted_wait_s: 0.0,
+            workers: 1,
+            model,
+            warm_fraction: 0.0,
+        };
+        let mut residency = ResidencyAware;
+        // A cold model ignores queue depth and lands on its home replica
+        // (model % fleet) — splitting it by depth would page it everywhere.
+        let probes = |model| vec![cold(0, 9, model), cold(1, 0, model), cold(2, 3, model)];
+        assert_eq!(residency.pick(&probes(0)), 0);
+        assert_eq!(residency.pick(&probes(1)), 1);
+        assert_eq!(residency.pick(&probes(5)), 2);
+        // Once any replica is meaningfully warm, warmth routing takes over.
+        let mut warming = probes(0);
+        warming[2].warm_fraction = 0.8;
+        assert_eq!(residency.pick(&warming), 2);
+    }
+
+    #[test]
     fn kinds_round_trip_and_build_their_policy() {
         for kind in BalancerKind::ALL {
             let parsed: BalancerKind = kind.as_str().parse().expect("canonical spelling parses");
@@ -332,8 +458,10 @@ mod tests {
                 BalancerKind::JoinShortestQueue => assert_eq!(policy.name(), "jsq"),
                 BalancerKind::PowerOfTwoChoices => assert_eq!(policy.name(), "p2c"),
                 BalancerKind::LeastPredictedWait => assert_eq!(policy.name(), "least-wait"),
+                BalancerKind::ResidencyAware => assert_eq!(policy.name(), "residency"),
             }
         }
+        assert_eq!("affinity".parse::<BalancerKind>().unwrap(), BalancerKind::ResidencyAware);
         assert!("waterfall".parse::<BalancerKind>().is_err());
     }
 }

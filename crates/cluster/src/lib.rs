@@ -58,7 +58,7 @@ pub mod report;
 pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleAction};
 pub use balancer::{
     BalancerKind, BalancerParseError, JoinShortestQueue, LeastPredictedWait, LoadBalancer,
-    PowerOfTwoChoices, ReplicaProbe, RoundRobin,
+    PowerOfTwoChoices, ReplicaProbe, ResidencyAware, RoundRobin,
 };
 pub use replica::{Replica, ReplicaSpec, RetiredReplica};
 pub use report::{ClusterReport, ReplicaReport};
@@ -67,7 +67,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tilewise::TileWiseMatrix;
 use tw_models::Arrival;
-use tw_serve::{Admission, AdmissionConfig, ClassId, ClassPolicy, ServerClosed};
+use tw_serve::{
+    Admission, AdmissionConfig, ClassId, ClassPolicy, MemoryConfig, ModelId, ServerClosed,
+};
 
 /// Cluster-wide serving settings shared by every replica (per-replica
 /// differences live on [`ReplicaSpec`]).
@@ -90,6 +92,12 @@ pub struct ClusterConfig {
     pub balancer_seed: u64,
     /// Reactive scaling; `None` runs a fixed fleet.
     pub autoscaler: Option<AutoscalerConfig>,
+    /// Per-replica VRAM residency management; `None` serves everything
+    /// eternally resident (the legacy behavior).  With it set, every
+    /// replica pages weight tiles against its own device's VRAM — the
+    /// regime where [`BalancerKind::ResidencyAware`] affinity routing earns
+    /// its keep.
+    pub memory: Option<MemoryConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -103,6 +111,7 @@ impl Default for ClusterConfig {
             balancer: BalancerKind::JoinShortestQueue,
             balancer_seed: 0,
             autoscaler: None,
+            memory: None,
         }
     }
 }
@@ -143,12 +152,20 @@ impl ClusterConfig {
         self.autoscaler = Some(autoscaler);
         self
     }
+
+    /// Builder-style activation of per-replica VRAM residency management.
+    pub fn with_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = Some(memory);
+        self
+    }
 }
 
 /// A running fleet: submit requests (the balancer routes them), or replay a
 /// traffic schedule, then shut down for the aggregated report.
 pub struct Cluster {
-    tiles: Vec<TileWiseMatrix>,
+    /// The hosted models — `(name, pruned tiles)` in [`ModelId`] order,
+    /// shared by every replica (each binds its own kernels per model).
+    models: Vec<(String, Vec<TileWiseMatrix>)>,
     config: ClusterConfig,
     live: Vec<Replica>,
     draining: Vec<JoinHandle<RetiredReplica>>,
@@ -165,7 +182,7 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Starts one replica per spec over the shared pruned `tiles` (each
+    /// Starts one replica per spec serving the single model `tiles` (each
     /// replica binds its own kernels and prices them on its own device).
     ///
     /// # Panics
@@ -175,14 +192,32 @@ impl Cluster {
         specs: Vec<ReplicaSpec>,
         config: ClusterConfig,
     ) -> Self {
+        Self::start_models(vec![("default".to_string(), tiles)], specs, config)
+    }
+
+    /// Starts a multi-model fleet: every replica hosts every model in
+    /// `models` (ids follow list order on all replicas), and requests are
+    /// routed per model via [`Cluster::submit_model`].  Combine with
+    /// [`ClusterConfig::memory`] and [`BalancerKind::ResidencyAware`] for
+    /// warm-affinity routing under constrained VRAM.
+    ///
+    /// # Panics
+    /// Panics on an empty model or spec list, an invalid config, or an
+    /// invalid spec.
+    pub fn start_models(
+        models: Vec<(String, Vec<TileWiseMatrix>)>,
+        specs: Vec<ReplicaSpec>,
+        config: ClusterConfig,
+    ) -> Self {
         config.validate();
+        assert!(!models.is_empty(), "a cluster needs at least one model");
         assert!(!specs.is_empty(), "a cluster needs at least one replica");
         let live: Vec<Replica> =
-            specs.into_iter().map(|spec| Replica::start(&tiles, spec, &config)).collect();
+            specs.into_iter().map(|spec| Replica::start(&models, spec, &config)).collect();
         let balancer = config.balancer.build(config.balancer_seed);
         let autoscaler = config.autoscaler.clone().map(Autoscaler::new);
         Self {
-            tiles,
+            models,
             config,
             live,
             draining: Vec::new(),
@@ -216,20 +251,40 @@ impl Cluster {
         &self.scale_events
     }
 
-    /// Routes one classed submission through the balancer.  Returns the
-    /// chosen replica's index in the live list and the replica's admission
-    /// outcome.  `Err` only once shutdown has begun (never during a run).
-    ///
-    /// # Panics
-    /// Panics if `class` is out of range, the payload does not match the
-    /// model input dim, or the balancer returns an out-of-range pick.
+    /// Routes one classed submission for the default model (0).  See
+    /// [`Cluster::submit_model`].
     pub fn submit_to(
         &mut self,
         class: ClassId,
         payload: Vec<f32>,
     ) -> Result<(usize, Admission), ServerClosed> {
-        let probes: Vec<ReplicaProbe> =
-            self.live.iter().enumerate().map(|(i, r)| r.probe(i, class)).collect();
+        self.submit_model(0, class, payload)
+    }
+
+    /// Routes one classed submission for `model` through the balancer.
+    /// Every probe carries the replica's warmth for *this* model, so
+    /// residency-aware policies can route for affinity.  Returns the chosen
+    /// replica's index in the live list and the replica's admission
+    /// outcome.  `Err` only once shutdown has begun (never during a run).
+    ///
+    /// # Panics
+    /// Panics if `class` or `model` is out of range, the payload does not
+    /// match the model input dim, or the balancer returns an out-of-range
+    /// pick.
+    pub fn submit_model(
+        &mut self,
+        model: ModelId,
+        class: ClassId,
+        payload: Vec<f32>,
+    ) -> Result<(usize, Admission), ServerClosed> {
+        assert!(model < self.models.len(), "model {model} out of range");
+        let with_warmth = self.balancer.needs_warmth();
+        let probes: Vec<ReplicaProbe> = self
+            .live
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.probe(i, class, model, with_warmth))
+            .collect();
         let pick = self.balancer.pick(&probes);
         assert!(
             pick < self.live.len(),
@@ -237,7 +292,7 @@ impl Cluster {
             self.balancer.name(),
             self.live.len()
         );
-        let admission = self.live[pick].submit_to(class, payload)?;
+        let admission = self.live[pick].submit_model(model, class, payload)?;
         self.issued += 1;
         self.since_poll += 1;
         self.maybe_autoscale();
@@ -254,15 +309,33 @@ impl Cluster {
     /// # Panics
     /// Panics on arrivals whose class or payload does not fit the config.
     pub fn replay(&mut self, schedule: &[Arrival]) {
+        self.replay_assigned(schedule, &[0]);
+    }
+
+    /// [`Cluster::replay`], with each arrival routed to a model from
+    /// `assignment` (cycled by arrival index) — the multi-model traffic
+    /// replay.  `&[0]` reproduces the single-model behavior;
+    /// `&[0, 1]` alternates two models per arrival; `&[0, 0, 0, 1]` skews
+    /// traffic 3:1.
+    ///
+    /// # Panics
+    /// Panics on an empty `assignment`, or arrivals whose class, model or
+    /// payload does not fit the config.
+    pub fn replay_assigned(&mut self, schedule: &[Arrival], assignment: &[ModelId]) {
+        assert!(!assignment.is_empty(), "model assignment cannot be empty");
         let started = Instant::now();
-        for arrival in schedule {
+        for (index, arrival) in schedule.iter().enumerate() {
             let target = started + arrival.at;
             let now = Instant::now();
             if target > now {
                 std::thread::sleep(target - now);
             }
-            self.submit_to(arrival.class, arrival.payload.clone())
-                .expect("open-loop submit before shutdown");
+            self.submit_model(
+                assignment[index % assignment.len()],
+                arrival.class,
+                arrival.payload.clone(),
+            )
+            .expect("open-loop submit before shutdown");
         }
     }
 
@@ -289,7 +362,7 @@ impl Cluster {
                 let mut spec = scaler.template().clone();
                 spec.name = scaler.next_name();
                 let name = spec.name.clone();
-                self.live.push(Replica::start(&self.tiles, spec, &self.config));
+                self.live.push(Replica::start(&self.models, spec, &self.config));
                 self.scale_events.push(format!(
                     "+{name} at submission {} (fleet depth {depth}, {} live)",
                     self.issued,

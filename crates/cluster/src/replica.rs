@@ -5,8 +5,10 @@ use crate::ClusterConfig;
 use std::sync::Arc;
 use tilewise::{Backend, InferenceSession, TileWiseMatrix};
 use tw_gpu_sim::GpuDevice;
+use tw_memory::ModelRegistry;
 use tw_serve::{
-    Admission, ClassId, GpuDwell, InferenceResponse, ServeConfig, ServeReport, Server, ServerClosed,
+    Admission, ClassId, GpuDwell, InferenceResponse, ModelId, ServeConfig, ServeReport, Server,
+    ServerClosed,
 };
 
 /// How to build one replica.  Replicas are first-class heterogeneous: each
@@ -70,17 +72,29 @@ pub struct Replica {
 }
 
 impl Replica {
-    /// Builds the replica's session from the shared pruned tiles and starts
-    /// its server with the cluster-wide queue/batch/class/admission
-    /// settings and the replica's own worker count and dwell.
+    /// Builds the replica's sessions — one per hosted model, all priced on
+    /// the replica's own device — and starts its server with the
+    /// cluster-wide queue/batch/class/admission/memory settings and the
+    /// replica's own worker count and dwell.  Model ids follow the order of
+    /// `models`, identically on every replica.
     ///
     /// # Panics
-    /// Panics on an invalid spec or cluster config.
-    pub fn start(tiles: &[TileWiseMatrix], spec: ReplicaSpec, config: &ClusterConfig) -> Self {
+    /// Panics on an invalid spec or cluster config, or an empty model list.
+    pub fn start(
+        models: &[(String, Vec<TileWiseMatrix>)],
+        spec: ReplicaSpec,
+        config: &ClusterConfig,
+    ) -> Self {
         spec.validate();
-        let plan = vec![spec.backend; tiles.len()];
-        let session =
-            InferenceSession::with_plan(tiles.to_vec(), &plan).with_device(spec.device.clone());
+        assert!(!models.is_empty(), "a replica needs at least one model");
+        let page_bytes = config.memory.map_or(ModelRegistry::DEFAULT_PAGE_BYTES, |m| m.page_bytes);
+        let mut registry = ModelRegistry::with_page_bytes(page_bytes);
+        for (name, tiles) in models {
+            let plan = vec![spec.backend; tiles.len()];
+            let session =
+                InferenceSession::with_plan(tiles.to_vec(), &plan).with_device(spec.device.clone());
+            registry.register(name.clone(), 1, Arc::new(session));
+        }
         let serve_config = ServeConfig {
             max_batch_size: config.max_batch_size,
             max_batch_wait: config.max_batch_wait,
@@ -89,8 +103,9 @@ impl Replica {
             gpu_dwell: (spec.time_scale > 0.0).then_some(GpuDwell { time_scale: spec.time_scale }),
             classes: config.classes.clone(),
             admission: config.admission,
+            memory: config.memory,
         };
-        Self { spec, server: Server::start(Arc::new(session), serve_config), routed: 0 }
+        Self { spec, server: Server::start_registry(registry, serve_config), routed: 0 }
     }
 
     /// The spec the replica was built from.
@@ -118,11 +133,22 @@ impl Replica {
         self.server.shed_so_far()
     }
 
-    /// The routing snapshot for a `class` arrival, tagged `index` in the
-    /// cluster's live list.  One queue-lock acquisition per replica
-    /// (`Server::routing_probe`) — this runs for every live replica on
-    /// every submission, contending with the replica's own workers.
-    pub fn probe(&self, index: usize, class: ClassId) -> ReplicaProbe {
+    /// The routing snapshot for a `class` arrival targeting `model`,
+    /// tagged `index` in the cluster's live list.  One queue-lock
+    /// acquisition per replica (`Server::routing_probe`) — this runs for
+    /// every live replica on every submission, contending with the
+    /// replica's own workers.  `with_warmth` additionally looks up the
+    /// model's VRAM residency (a tile-cache lock + tile scan); the cluster
+    /// passes `true` only when the balancer actually reads warmth
+    /// ([`crate::LoadBalancer::needs_warmth`]), and every other probe
+    /// carries `1.0`.
+    pub fn probe(
+        &self,
+        index: usize,
+        class: ClassId,
+        model: ModelId,
+        with_warmth: bool,
+    ) -> ReplicaProbe {
         let (queue_depth, depth_ahead, predicted_wait) = self.server.routing_probe(class);
         ReplicaProbe {
             replica: index,
@@ -130,16 +156,19 @@ impl Replica {
             depth_ahead,
             predicted_wait_s: predicted_wait.as_secs_f64(),
             workers: self.spec.workers,
+            model,
+            warm_fraction: if with_warmth { self.server.model_warm_fraction(model) } else { 1.0 },
         }
     }
 
-    /// Routes one submission to this replica.
-    pub fn submit_to(
+    /// Routes one submission for `model` to this replica.
+    pub fn submit_model(
         &mut self,
+        model: ModelId,
         class: ClassId,
         payload: Vec<f32>,
     ) -> Result<Admission, ServerClosed> {
-        let admission = self.server.submit_to(class, payload)?;
+        let admission = self.server.submit_model(model, class, payload)?;
         self.routed += 1;
         Ok(admission)
     }
@@ -183,20 +212,22 @@ mod tests {
     use super::*;
     use tilewise::Backend;
 
-    fn tiles() -> Vec<TileWiseMatrix> {
-        InferenceSession::synthetic_tiles(&[24, 32, 12], 0.5, 8, 17)
+    fn models() -> Vec<(String, Vec<TileWiseMatrix>)> {
+        vec![("default".to_string(), InferenceSession::synthetic_tiles(&[24, 32, 12], 0.5, 8, 17))]
     }
 
     #[test]
     fn replica_serves_and_conserves_its_ids() {
         let config = ClusterConfig::default();
         let spec = ReplicaSpec::v100("r0", 2, Backend::TileWise, 0.0);
-        let mut replica = Replica::start(&tiles(), spec, &config);
+        let mut replica = Replica::start(&models(), spec, &config);
         assert_eq!(replica.plan(), vec!["tile-wise", "tile-wise"]);
         for _ in 0..25 {
-            replica.submit_to(0, vec![0.2; 24]).unwrap();
+            replica.submit_model(0, 0, vec![0.2; 24]).unwrap();
         }
         assert_eq!(replica.routed(), 25);
+        // Without memory management every model reads fully warm.
+        assert_eq!(replica.probe(0, 0, 0, true).warm_fraction, 1.0);
         let retired = replica.shutdown();
         assert_eq!(retired.report.completed, 25);
         assert_eq!(retired.responses.len(), 25);
@@ -206,7 +237,7 @@ mod tests {
     #[test]
     fn heterogeneous_specs_price_on_their_own_device() {
         let config = ClusterConfig::default();
-        let tiles = tiles();
+        let tiles = models();
         let v100 =
             Replica::start(&tiles, ReplicaSpec::v100("v", 1, Backend::TileWise, 0.0), &config);
         let a100 = Replica::start(
@@ -228,6 +259,6 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_worker_spec_rejected() {
         let spec = ReplicaSpec::v100("bad", 0, Backend::Dense, 0.0);
-        let _ = Replica::start(&tiles(), spec, &ClusterConfig::default());
+        let _ = Replica::start(&models(), spec, &ClusterConfig::default());
     }
 }

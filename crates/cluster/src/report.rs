@@ -4,7 +4,7 @@
 
 use crate::replica::RetiredReplica;
 use std::time::Duration;
-use tw_serve::{ClassPolicy, ClassStats, LatencySummary, ServeReport};
+use tw_serve::{ClassPolicy, ClassStats, LatencySummary, ModelStats, ServeReport};
 
 /// One replica's slice of the cluster report.
 #[derive(Clone, Debug)]
@@ -40,6 +40,11 @@ pub struct ClusterReport {
     pub latency: LatencySummary,
     /// Per-class breakdowns aggregated across replicas, in priority order.
     pub classes: Vec<ClassStats>,
+    /// Per-model cold-start breakdowns aggregated across replicas, in model
+    /// id order: fleet-wide tile hit rates, bytes paged and true cold/warm
+    /// latency order statistics.  Empty when no replica paged (single
+    /// model, no memory management).
+    pub models: Vec<ModelStats>,
     /// Per-replica reports, in start order (drained replicas included).
     pub replicas: Vec<ReplicaReport>,
     /// Autoscaler decisions, in decision order (empty without autoscaling).
@@ -90,6 +95,49 @@ impl ClusterReport {
                 }
             })
             .collect();
+        // Per-model rows: true fleet-wide cold/warm order statistics from
+        // the union of responses, tile counters summed over the replicas'
+        // own per-model rows.
+        let num_models = retired.iter().map(|r| r.report.models.len()).max().unwrap_or(0);
+        let model_stats: Vec<ModelStats> = (0..num_models)
+            .map(|id| {
+                let name = retired
+                    .iter()
+                    .find_map(|r| r.report.models.get(id).map(|m| m.name.clone()))
+                    .unwrap_or_else(|| format!("model-{id}"));
+                let warm: Vec<f64> = retired
+                    .iter()
+                    .flat_map(|r| r.responses.iter())
+                    .filter(|resp| resp.model == id && !resp.cold)
+                    .map(|resp| resp.latency.as_secs_f64())
+                    .collect();
+                let cold: Vec<f64> = retired
+                    .iter()
+                    .flat_map(|r| r.responses.iter())
+                    .filter(|resp| resp.model == id && resp.cold)
+                    .map(|resp| resp.latency.as_secs_f64())
+                    .collect();
+                let row = |f: fn(&ModelStats) -> u64| -> u64 {
+                    retired.iter().filter_map(|r| r.report.models.get(id)).map(f).sum()
+                };
+                ModelStats {
+                    model: id,
+                    name,
+                    completed: warm.len() + cold.len(),
+                    cold: cold.len(),
+                    warm_latency: LatencySummary::from_samples(warm),
+                    cold_latency: LatencySummary::from_samples(cold),
+                    tile_hits: row(|m| m.tile_hits),
+                    tile_misses: row(|m| m.tile_misses),
+                    bytes_paged: row(|m| m.bytes_paged),
+                    transfer_sim_s: retired
+                        .iter()
+                        .filter_map(|r| r.report.models.get(id))
+                        .map(|m| m.transfer_sim_s)
+                        .sum(),
+                }
+            })
+            .collect();
         let replicas: Vec<ReplicaReport> = retired
             .into_iter()
             .map(|r| ReplicaReport {
@@ -109,6 +157,7 @@ impl ClusterReport {
             wall,
             latency: LatencySummary::from_samples(all_latencies),
             classes: class_stats,
+            models: model_stats,
             replicas,
             scale_events,
         }
@@ -139,6 +188,16 @@ impl ClusterReport {
     /// Total simulated device seconds across the fleet.
     pub fn sim_gpu_s(&self) -> f64 {
         self.replicas.iter().map(|r| r.report.sim_gpu_s).sum()
+    }
+
+    /// Total bytes paged host→device across the fleet.
+    pub fn bytes_paged(&self) -> u64 {
+        self.replicas.iter().map(|r| r.report.bytes_paged).sum()
+    }
+
+    /// Total simulated PCIe seconds across the fleet.
+    pub fn transfer_sim_s(&self) -> f64 {
+        self.replicas.iter().map(|r| r.report.transfer_sim_s).sum()
     }
 
     /// Total batches executed across the fleet.
@@ -212,6 +271,12 @@ impl ClusterReport {
                 )
             })
             .collect()
+    }
+
+    /// One line per model, aggregated fleet-wide: the cold-start view
+    /// (same [`ModelStats::summary_line`] format as single-server reports).
+    pub fn model_summary(&self) -> Vec<String> {
+        self.models.iter().map(ModelStats::summary_line).collect()
     }
 
     /// One line per class, aggregated fleet-wide.

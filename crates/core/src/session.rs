@@ -223,6 +223,13 @@ impl InferenceSession {
         self.layers.iter().map(|l| l.kernel.resident_bytes()).sum()
     }
 
+    /// Per-layer breakdown of [`Self::resident_bytes`], in layer order —
+    /// the footprint source a memory manager (`tw-memory`) derives its
+    /// paging tiles from.
+    pub fn layer_resident_bytes(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.kernel.resident_bytes()).collect()
+    }
+
     /// Number of weight layers.
     pub fn num_layers(&self) -> usize {
         self.layers.len()

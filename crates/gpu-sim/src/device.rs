@@ -52,6 +52,16 @@ pub struct GpuDevice {
     pub max_concurrent_streams: usize,
     /// Shared memory per SM in bytes.
     pub shared_mem_per_sm: usize,
+    /// On-device memory (VRAM) capacity in bytes.  This is the budget a
+    /// memory manager allocates weight tiles against: bytes beyond it must
+    /// live host-side and be paged in over PCIe before a kernel can run.
+    pub vram_bytes: u64,
+    /// Effective host↔device (PCIe) bandwidth in bytes/s — the *achieved*
+    /// copy rate, not the link's datasheet peak.
+    pub pcie_bandwidth: f64,
+    /// Fixed per-transfer host↔device latency in seconds (driver + DMA
+    /// setup), charged once per copy regardless of size.
+    pub pcie_latency: f64,
 }
 
 impl GpuDevice {
@@ -70,6 +80,9 @@ impl GpuDevice {
             warp_size: 32,
             max_concurrent_streams: 8,
             shared_mem_per_sm: 96 * 1024,
+            vram_bytes: 16 * (1 << 30),
+            pcie_bandwidth: 12.0e9,
+            pcie_latency: 10.0e-6,
         }
     }
 
@@ -88,6 +101,10 @@ impl GpuDevice {
             warp_size: 32,
             max_concurrent_streams: 4,
             shared_mem_per_sm: 64 * 1024,
+            vram_bytes: 8 * (1 << 30),
+            // A consumer board on a PCIe 3.0 x8 link.
+            pcie_bandwidth: 6.0e9,
+            pcie_latency: 15.0e-6,
         }
     }
 
@@ -108,6 +125,10 @@ impl GpuDevice {
             warp_size: 32,
             max_concurrent_streams: 12,
             shared_mem_per_sm: 164 * 1024,
+            vram_bytes: 40 * (1 << 30),
+            // PCIe 4.0 x16.
+            pcie_bandwidth: 24.0e9,
+            pcie_latency: 8.0e-6,
         }
     }
 
@@ -167,12 +188,16 @@ impl std::str::FromStr for GpuDevice {
     /// Parses the CLI device vocabulary: `v100`, `a100` (the
     /// [`GpuDevice::a100_like`] profile) and `midrange` (the
     /// tensor-core-less [`GpuDevice::cuda_only_midrange`] part).
+    /// Surrounding whitespace and letter case are ignored (`" A100 "`
+    /// parses); the error echoes the input as given (minus the
+    /// whitespace), not the normalized form.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.trim().to_lowercase().as_str() {
+        let trimmed = s.trim();
+        match trimmed.to_lowercase().as_str() {
             "v100" => Ok(Self::v100()),
             "a100" | "a100-like" => Ok(Self::a100_like()),
             "midrange" | "cuda-only-midrange" => Ok(Self::cuda_only_midrange()),
-            other => Err(DeviceParseError(other.to_string())),
+            _ => Err(DeviceParseError(trimmed.to_string())),
         }
     }
 }
@@ -221,8 +246,44 @@ mod tests {
         assert_eq!("v100".parse::<GpuDevice>().unwrap().to_string(), "v100");
         assert_eq!("A100".parse::<GpuDevice>().unwrap().to_string(), "a100");
         assert!("h100".parse::<GpuDevice>().is_err());
+    }
+
+    #[test]
+    fn from_str_ignores_surrounding_whitespace_and_case() {
+        assert_eq!(" A100 ".parse::<GpuDevice>().unwrap(), GpuDevice::a100_like());
+        assert_eq!("\tV100\n".parse::<GpuDevice>().unwrap(), GpuDevice::v100());
+        assert_eq!("  MidRange".parse::<GpuDevice>().unwrap(), GpuDevice::cuda_only_midrange());
+        assert_eq!("Cuda-Only-Midrange".parse::<GpuDevice>().unwrap().slug(), "midrange");
+    }
+
+    #[test]
+    fn unknown_device_error_message_is_pinned() {
+        // The message must name both the rejected input (as the user typed
+        // it, minus surrounding whitespace) and the accepted vocabulary, so
+        // a CLI can print it verbatim.
         let err = "tpu".parse::<GpuDevice>().unwrap_err();
-        assert!(err.to_string().contains("v100|a100|midrange"), "{err}");
+        assert_eq!(err.to_string(), "unknown device \"tpu\" (expected v100|a100|midrange)");
+        let err = " H100 ".parse::<GpuDevice>().unwrap_err();
+        assert_eq!(err.to_string(), "unknown device \"H100\" (expected v100|a100|midrange)");
+        assert_eq!(
+            "".parse::<GpuDevice>().unwrap_err().to_string(),
+            "unknown device \"\" (expected v100|a100|midrange)"
+        );
+    }
+
+    #[test]
+    fn memory_system_profile_is_sane() {
+        for d in [GpuDevice::v100(), GpuDevice::a100_like(), GpuDevice::cuda_only_midrange()] {
+            assert!(d.vram_bytes > 0, "{}: VRAM capacity must be positive", d.name);
+            assert!(d.pcie_bandwidth > 0.0 && d.pcie_bandwidth.is_finite(), "{}", d.name);
+            assert!(d.pcie_latency >= 0.0 && d.pcie_latency.is_finite(), "{}", d.name);
+            // PCIe is the slow path: well under DRAM bandwidth on every
+            // profile, or paging would be free and the cache pointless.
+            assert!(d.pcie_bandwidth < d.memory_bandwidth / 10.0, "{}", d.name);
+        }
+        let (v100, a100) = (GpuDevice::v100(), GpuDevice::a100_like());
+        assert!(a100.vram_bytes > v100.vram_bytes);
+        assert!(a100.pcie_bandwidth > v100.pcie_bandwidth);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod counters;
 pub mod device;
 pub mod occupancy;
 pub mod stream;
+pub mod transfer;
 
 pub use calibration::Calibration;
 pub use cost::{CostModel, SparseGemmKind, TwExecOptions, TwTileShape};
@@ -33,3 +34,4 @@ pub use counters::{KernelCounters, KernelProfile, RunCounters};
 pub use device::{CoreKind, DeviceParseError, GpuDevice, Precision};
 pub use occupancy::{tile_quantization_efficiency, wave_quantization_efficiency};
 pub use stream::{StreamSchedule, StreamSim};
+pub use transfer::TransferCost;

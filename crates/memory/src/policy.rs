@@ -1,0 +1,218 @@
+//! Pluggable eviction: which resident tile to drop when VRAM runs out.
+//!
+//! The cache owns the metadata (recency, frequency, reload price) and the
+//! pinning rules; a policy only *ranks* the eviction candidates it is
+//! handed.  Pinned tiles are never offered as candidates, so no policy can
+//! evict the working set of an in-flight batch.
+
+use crate::cache::TileKey;
+
+/// One evictable (resident, unpinned) tile with the metadata policies rank
+/// by.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CandidateTile {
+    /// The tile's identity.
+    pub key: TileKey,
+    /// Resident size in bytes.
+    pub bytes: u64,
+    /// Simulated seconds to page the tile back in if it is evicted and
+    /// later reused (the [`tw_gpu_sim::TransferCost`] price of its bytes).
+    pub reload_seconds: f64,
+    /// Cache clock at the tile's most recent access.
+    pub last_access: u64,
+    /// Number of accesses since the tile first became resident.
+    pub accesses: u64,
+}
+
+/// Ranks eviction candidates.  [`EvictionPolicy::victim`] returns an index
+/// into the candidate slice; the cache evicts that tile and asks again if
+/// it still needs room.
+pub trait EvictionPolicy: Send + std::fmt::Debug {
+    /// Short policy name, carried into reports and CLI flags.
+    fn name(&self) -> &'static str;
+
+    /// Index of the candidate to evict.  `clock` is the cache's current
+    /// access clock (every candidate's `last_access` is `<= clock`).
+    ///
+    /// # Panics
+    /// Implementations may panic on an empty candidate slice; the cache
+    /// never passes one.
+    fn victim(&self, clock: u64, candidates: &[CandidateTile]) -> usize;
+}
+
+/// Evict the least-recently-used tile — the classic recency stack.
+/// Ties (same access clock, e.g. tiles paged in by one batch) break toward
+/// the lower key so decisions are deterministic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Lru;
+
+impl EvictionPolicy for Lru {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn victim(&self, _clock: u64, candidates: &[CandidateTile]) -> usize {
+        assert!(!candidates.is_empty(), "no eviction candidates");
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (c.last_access, c.key))
+            .map(|(i, _)| i)
+            .expect("non-empty candidates")
+    }
+}
+
+/// Evict the tile whose loss costs the least: the *expected re-load price*
+/// of a tile is its PCIe reload time weighted by how likely it is to be
+/// needed again, estimated as its access frequency decayed by idleness
+/// (`accesses / (age + 1)`).  The victim is the minimum — a cheap-to-reload
+/// tile that has been idle and rarely used loses to a hot or expensive one
+/// even if the hot one was touched slightly longer ago.
+///
+/// Unlike [`Lru`] this is *not* a stack algorithm: growing the cache is not
+/// guaranteed to keep every hit (no inclusion property), which is why the
+/// monotone-hit-rate property test pins LRU specifically.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostAware;
+
+impl EvictionPolicy for CostAware {
+    fn name(&self) -> &'static str {
+        "cost-aware"
+    }
+
+    fn victim(&self, clock: u64, candidates: &[CandidateTile]) -> usize {
+        assert!(!candidates.is_empty(), "no eviction candidates");
+        let score = |c: &CandidateTile| {
+            let age = clock.saturating_sub(c.last_access);
+            c.reload_seconds * c.accesses as f64 / (age + 1) as f64
+        };
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(i, a), (j, b)| {
+                score(a)
+                    .partial_cmp(&score(b))
+                    .expect("finite eviction scores")
+                    .then_with(|| a.key.cmp(&b.key))
+                    .then(i.cmp(j))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty candidates")
+    }
+}
+
+/// The built-in eviction vocabulary, parseable from CLI flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`Lru`].
+    Lru,
+    /// [`CostAware`].
+    CostAware,
+}
+
+impl PolicyKind {
+    /// Every built-in policy, in the order benchmarks sweep them.
+    pub const ALL: [PolicyKind; 2] = [PolicyKind::Lru, PolicyKind::CostAware];
+
+    /// The canonical flag spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::CostAware => "cost-aware",
+        }
+    }
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn EvictionPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru),
+            PolicyKind::CostAware => Box::new(CostAware),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error for parsing a [`PolicyKind`] from an unknown policy name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolicyParseError(String);
+
+impl std::fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown eviction policy {:?} (expected lru|cost-aware)", self.0)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = PolicyParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        match trimmed.to_lowercase().as_str() {
+            "lru" => Ok(PolicyKind::Lru),
+            "cost-aware" | "cost" | "costaware" => Ok(PolicyKind::CostAware),
+            _ => Err(PolicyParseError(trimmed.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(
+        tile: usize,
+        reload_seconds: f64,
+        last_access: u64,
+        accesses: u64,
+    ) -> CandidateTile {
+        CandidateTile {
+            key: TileKey { model: 0, layer: 0, tile },
+            bytes: 1024,
+            reload_seconds,
+            last_access,
+            accesses,
+        }
+    }
+
+    #[test]
+    fn lru_takes_the_stalest_tile() {
+        let candidates =
+            vec![candidate(0, 1.0, 7, 3), candidate(1, 1.0, 2, 9), candidate(2, 1.0, 5, 1)];
+        assert_eq!(Lru.victim(10, &candidates), 1);
+        // Recency ties break toward the lower key, deterministically.
+        let tied = vec![candidate(3, 1.0, 4, 1), candidate(1, 1.0, 4, 1)];
+        assert_eq!(Lru.victim(10, &tied), 1);
+    }
+
+    #[test]
+    fn cost_aware_spares_expensive_and_hot_tiles() {
+        // Tile 0: cheap to reload, idle, rarely used -> the obvious victim.
+        // Tile 1: expensive reload.  Tile 2: hot (frequent + recent).
+        let candidates =
+            vec![candidate(0, 0.001, 2, 1), candidate(1, 0.5, 2, 1), candidate(2, 0.001, 9, 50)];
+        assert_eq!(CostAware.victim(10, &candidates), 0);
+        // With equal reload prices it degenerates to frequency-decayed
+        // recency: the idle rarely-used tile still goes first.
+        let uniform =
+            vec![candidate(0, 0.01, 9, 40), candidate(1, 0.01, 1, 1), candidate(2, 0.01, 8, 10)];
+        assert_eq!(CostAware.victim(10, &uniform), 1);
+    }
+
+    #[test]
+    fn kinds_round_trip_and_build_their_policy() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.as_str().parse::<PolicyKind>().unwrap(), kind);
+            assert_eq!(kind.build().name(), kind.as_str());
+        }
+        assert_eq!(" Cost-Aware ".parse::<PolicyKind>().unwrap(), PolicyKind::CostAware);
+        let err = "fifo".parse::<PolicyKind>().unwrap_err();
+        assert_eq!(err.to_string(), "unknown eviction policy \"fifo\" (expected lru|cost-aware)");
+    }
+}

@@ -17,10 +17,20 @@
 //! instead of politely waiting out a budget the request cannot afford.
 //! Requests are popped from the priority queue, so higher-priority lanes
 //! fill batches first.
+//!
+//! # Model purity
+//!
+//! A batch is fused into *one* activation matrix against *one* model's
+//! weights, so every batch must be model-pure.  On a multi-model server the
+//! fill phase stops at the first popped request targeting a different
+//! model; that request is stashed (never dropped) and becomes the head of a
+//! subsequent batch.  On a single-model server the stash stays empty and
+//! behavior is unchanged.
 
 use crate::queue::{Pop, PriorityQueue};
 use crate::request::InferenceRequest;
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Groups queued requests into dynamic batches.  One batcher is shared by
@@ -33,6 +43,9 @@ pub struct SloBatcher {
     /// member's deadline must leave for the batch to still be worth joining.
     /// `ZERO` (e.g. CPU-only serving) degrades to the plain wait budget.
     predicted_exec: Duration,
+    /// Requests popped while filling a batch of a *different* model: they
+    /// head later batches, in stash order, before the queue is consulted.
+    stash: Mutex<VecDeque<InferenceRequest>>,
 }
 
 impl SloBatcher {
@@ -47,7 +60,13 @@ impl SloBatcher {
         predicted_exec: Duration,
     ) -> Self {
         assert!(max_batch_size > 0, "max batch size must be positive");
-        Self { queue, max_batch_size, max_batch_wait, predicted_exec }
+        Self {
+            queue,
+            max_batch_size,
+            max_batch_wait,
+            predicted_exec,
+            stash: Mutex::new(VecDeque::new()),
+        }
     }
 
     /// The queue this batcher drains.
@@ -69,19 +88,48 @@ impl SloBatcher {
         }
     }
 
-    /// Assembles the next batch: blocks for a batch head, then fills until
-    /// the size cap, the wait deadline, or the earliest member's SLO cutoff.
-    /// Returns `None` once the queue is closed and drained — the worker's
-    /// signal to exit.
+    /// Takes the highest-priority stashed request (FIFO within a class) —
+    /// unless the queue holds work of *strictly higher priority still*,
+    /// which wins the head slot (the stashed request stays in place among
+    /// its peers).  Stashing must not invert the queue's strict-priority
+    /// discipline in either direction: a best-effort request deferred by a
+    /// model switch may not overtake interactive arrivals, whether those
+    /// are still queued or themselves already stashed.
+    fn pop_stash_or_higher_priority(&self) -> Option<InferenceRequest> {
+        let mut stash = self.stash.lock().expect("batch stash poisoned");
+        let best = stash.iter().enumerate().min_by_key(|(i, r)| (r.class, *i)).map(|(i, _)| i)?;
+        let stashed = stash.remove(best).expect("index from enumerate");
+        if let Some(higher) = self.queue.try_pop_before(stashed.class) {
+            stash.insert(best, stashed);
+            return Some(higher);
+        }
+        Some(stashed)
+    }
+
+    /// Assembles the next batch: blocks for a batch head (stashed work
+    /// first, unless the queue holds strictly higher-priority arrivals),
+    /// then fills with same-model requests until the size cap, the wait
+    /// deadline, or the earliest member's SLO cutoff.  Returns `None` once
+    /// the queue is closed and drained and no stashed request remains —
+    /// the worker's signal to exit.
     pub fn next_batch(&self) -> Option<Vec<InferenceRequest>> {
-        // Phase 1: wait (indefinitely, in slices) for the batch head.
+        // Phase 1: wait (in slices, re-checking the stash so a request
+        // stashed by another worker is never stranded behind an idle queue)
+        // for the batch head.
         let head = loop {
+            if let Some(item) = self.pop_stash_or_higher_priority() {
+                break item;
+            }
             match self.queue.pop_timeout(Duration::from_millis(50)) {
                 Pop::Item(item) => break item,
                 Pop::TimedOut => continue,
-                Pop::Closed => return None,
+                Pop::Closed => match self.pop_stash_or_higher_priority() {
+                    Some(item) => break item,
+                    None => return None,
+                },
             }
         };
+        let model = head.model;
 
         // Phase 2: fill until size cap, wait deadline, or SLO cutoff.
         let mut fill_until = self.tighten(Instant::now() + self.max_batch_wait, &head);
@@ -93,9 +141,16 @@ impl SloBatcher {
                 break;
             }
             match self.queue.pop_timeout(fill_until - now) {
-                Pop::Item(item) => {
+                Pop::Item(item) if item.model == model => {
                     fill_until = self.tighten(fill_until, &item);
                     batch.push(item);
+                }
+                // A different model cannot share the fused activation
+                // matrix: stash it as a future batch head and close this
+                // batch (stopping here preserves per-model FIFO order).
+                Pop::Item(item) => {
+                    self.stash.lock().expect("batch stash poisoned").push_back(item);
+                    break;
                 }
                 // Closed with a partial batch in hand: flush what we have;
                 // the next call will observe Closed and return None.
@@ -276,6 +331,93 @@ mod tests {
         b.queue().push(0, request(2)).unwrap();
         assert_eq!(ids(&b.next_batch().unwrap()), vec![1, 2]);
         assert_eq!(ids(&b.next_batch().unwrap()), vec![10, 11]);
+    }
+
+    #[test]
+    fn batches_are_model_pure_and_no_request_is_lost() {
+        let b = batcher(64, 8, 10_000);
+        // Interleaved models on one lane: the batcher must split them into
+        // model-pure batches while preserving arrival order per model.
+        let models = [0usize, 0, 1, 1, 0, 2];
+        for (id, &model) in models.iter().enumerate() {
+            b.queue()
+                .push(0, InferenceRequest::for_model(id as u64, model, vec![0.0; 4], 0, None))
+                .unwrap();
+        }
+        b.queue().close();
+        let mut batches = Vec::new();
+        while let Some(batch) = b.next_batch() {
+            assert!(
+                batch.iter().all(|r| r.model == batch[0].model),
+                "mixed-model batch: {:?}",
+                batch.iter().map(|r| (r.id, r.model)).collect::<Vec<_>>()
+            );
+            batches.push(ids(&batch));
+        }
+        assert_eq!(batches, vec![vec![0, 1], vec![2, 3], vec![4], vec![5]]);
+    }
+
+    #[test]
+    fn stashed_low_priority_request_does_not_overtake_interactive_arrivals() {
+        // Lane 0 = interactive, lane 1 = batch.  A model-1 batch-class
+        // request gets stashed while a model-0 batch fills; interactive
+        // model-0 work arriving meanwhile must still head the next batch —
+        // the stash may not invert strict priority.
+        let b = batcher(64, 3, 10_000);
+        let req =
+            |id, model, class| InferenceRequest::for_model(id, model, vec![0.0; 4], class, None);
+        b.queue().push(1, req(1, 0, 1)).unwrap();
+        b.queue().push(1, req(2, 0, 1)).unwrap();
+        b.queue().push(1, req(3, 1, 1)).unwrap();
+        // First batch: the model-0 pair; request 3 (model 1) is popped
+        // during the fill and stashed, closing the batch early.
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![1, 2]);
+        b.queue().push(0, req(4, 0, 0)).unwrap();
+        b.queue().push(0, req(5, 0, 0)).unwrap();
+        b.queue().close();
+        // The interactive arrivals outrank the stashed batch request.
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![4, 5]);
+        // The stashed request is served next — never lost.
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![3]);
+        assert!(b.next_batch().is_none());
+    }
+
+    #[test]
+    fn stash_yields_its_own_highest_priority_request_first() {
+        // Strict priority must hold *within* the stash too: a best-effort
+        // request stashed earlier may not overtake an interactive request
+        // stashed later.
+        let b = batcher(64, 2, 10_000);
+        let req =
+            |id, model, class| InferenceRequest::for_model(id, model, vec![0.0; 4], class, None);
+        // Head req 1 (model 0); fill pops the model-1 best-effort req 2 and
+        // stashes it.
+        b.queue().push(1, req(1, 0, 1)).unwrap();
+        b.queue().push(1, req(2, 1, 1)).unwrap();
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![1]);
+        // Head req 3 (model 2, interactive); fill pops the interactive
+        // model-3 req 4 and stashes it behind req 2.
+        b.queue().push(0, req(3, 2, 0)).unwrap();
+        b.queue().push(0, req(4, 3, 0)).unwrap();
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![3]);
+        b.queue().close();
+        // Stash is [2 (class 1), 4 (class 0)]: the interactive request
+        // heads the next batch despite being stashed later.
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![4]);
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![2]);
+        assert!(b.next_batch().is_none());
+    }
+
+    #[test]
+    fn single_model_serving_never_stashes() {
+        let b = batcher(64, 4, 10_000);
+        for id in 0..8 {
+            b.queue().push(0, request(id)).unwrap();
+        }
+        b.queue().close();
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![0, 1, 2, 3]);
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![4, 5, 6, 7]);
+        assert!(b.next_batch().is_none());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Serving runtime configuration.
 
 use std::time::Duration;
+use tw_memory::{ModelRegistry, PolicyKind};
 use tw_models::TrafficClass;
 
 /// How the worker pool accounts for simulated GPU time.
@@ -58,6 +59,37 @@ impl ClassPolicy {
     }
 }
 
+/// VRAM residency management: when set on [`ServeConfig::memory`], the
+/// server tracks which weight tiles are on-device through a
+/// `tw-memory` [`tw_memory::TileCache`], and every batch whose model is not
+/// fully resident pays the PCIe transfer time as an extra *cold-miss* dwell
+/// component.  `None` (the default) models the legacy assumption that all
+/// weights are eternally resident.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryConfig {
+    /// VRAM capacity override in bytes; `None` uses the serving device's
+    /// [`tw_gpu_sim::GpuDevice::vram_bytes`] profile.  Sizing this *below*
+    /// the hosted models' combined footprint is how multi-model paging
+    /// scenarios are provoked deliberately.
+    pub vram_bytes: Option<u64>,
+    /// Paging granularity for tiles derived at [`crate::Server::start`]
+    /// (callers of `start_registry` choose theirs when building the
+    /// registry).
+    pub page_bytes: u64,
+    /// Which resident tile to evict under pressure.
+    pub policy: PolicyKind,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self {
+            vram_bytes: None,
+            page_bytes: ModelRegistry::DEFAULT_PAGE_BYTES,
+            policy: PolicyKind::Lru,
+        }
+    }
+}
+
 /// SLO-aware admission control: when to *shed* a request at submission
 /// instead of queueing it.  All knobs default to `None`/off; with every
 /// knob off the server falls back to pure blocking backpressure (the
@@ -109,6 +141,9 @@ pub struct ServeConfig {
     pub classes: Vec<ClassPolicy>,
     /// SLO-aware admission control; default off (pure backpressure).
     pub admission: AdmissionConfig,
+    /// VRAM residency management; default off (weights eternally
+    /// resident, no paging dwell).
+    pub memory: Option<MemoryConfig>,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +156,7 @@ impl Default for ServeConfig {
             gpu_dwell: None,
             classes: vec![ClassPolicy::best_effort("default")],
             admission: AdmissionConfig::default(),
+            memory: None,
         }
     }
 }
@@ -146,6 +182,12 @@ impl ServeConfig {
                 depth <= self.queue_capacity,
                 "shed depth beyond queue capacity would never trigger"
             );
+        }
+        if let Some(memory) = &self.memory {
+            assert!(memory.page_bytes > 0, "memory page size must be positive");
+            if let Some(vram) = memory.vram_bytes {
+                assert!(vram > 0, "VRAM capacity override must be positive");
+            }
         }
     }
 
@@ -182,6 +224,12 @@ impl ServeConfig {
     /// Builder-style override of the admission policy.
     pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// Builder-style activation of VRAM residency management.
+    pub fn with_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = Some(memory);
         self
     }
 }
@@ -248,6 +296,27 @@ mod tests {
     #[should_panic(expected = "at least one request class")]
     fn empty_class_list_rejected() {
         ServeConfig { classes: Vec::new(), ..ServeConfig::default() }.validate();
+    }
+
+    #[test]
+    fn memory_config_defaults_and_builder() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.memory.is_none(), "residency management is opt-in");
+        let cfg =
+            cfg.with_memory(MemoryConfig { vram_bytes: Some(1 << 20), ..MemoryConfig::default() });
+        cfg.validate();
+        let memory = cfg.memory.unwrap();
+        assert_eq!(memory.vram_bytes, Some(1 << 20));
+        assert_eq!(memory.page_bytes, tw_memory::ModelRegistry::DEFAULT_PAGE_BYTES);
+        assert_eq!(memory.policy, PolicyKind::Lru);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size must be positive")]
+    fn zero_page_size_rejected() {
+        ServeConfig::default()
+            .with_memory(MemoryConfig { page_bytes: 0, ..MemoryConfig::default() })
+            .validate();
     }
 
     #[test]

@@ -55,17 +55,19 @@ pub mod stats;
 
 pub use admission::AdmissionController;
 pub use batcher::SloBatcher;
-pub use config::{AdmissionConfig, ClassPolicy, GpuDwell, ServeConfig};
-pub use pool::WorkerPool;
+pub use config::{AdmissionConfig, ClassPolicy, GpuDwell, MemoryConfig, ServeConfig};
+pub use pool::{ModelRuntime, WorkerPool};
 pub use queue::{Pop, PriorityQueue, PushError};
-pub use request::{ClassId, InferenceRequest, InferenceResponse, ShedReason, ShedRecord};
-pub use stats::{ClassStats, LatencySummary, RunObservation, ServeReport, WorkerStats};
+pub use request::{ClassId, InferenceRequest, InferenceResponse, ModelId, ShedReason, ShedRecord};
+pub use stats::{ClassStats, LatencySummary, ModelStats, RunObservation, ServeReport, WorkerStats};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
-use tilewise::InferenceSession;
+use tilewise::{DwellModel, InferenceSession};
+use tw_gpu_sim::TransferCost;
+use tw_memory::{CacheStats, MemoryPool, ModelRegistry, TileCache};
 use tw_models::Arrival;
 
 /// Outcome of one [`Server::submit_to`] call.
@@ -90,7 +92,11 @@ impl Admission {
 
 /// A running serving instance: submit requests, then shut down for a report.
 pub struct Server {
-    session: Arc<InferenceSession>,
+    /// The hosted models, indexed by [`ModelId`] (registry order).
+    models: Arc<Vec<ModelRuntime>>,
+    /// The VRAM residency manager; `None` models eternally-resident
+    /// weights (the single-model legacy behavior).
+    memory: Option<Arc<Mutex<TileCache>>>,
     queue: Arc<PriorityQueue<InferenceRequest>>,
     pool: WorkerPool,
     admission: AdmissionController,
@@ -110,16 +116,60 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the queue, batcher and worker pool for `session`.
+    /// Starts the queue, batcher and worker pool for a single `session`
+    /// hosted as model 0 (named `default`).  With
+    /// [`ServeConfig::memory`] set, even a single model is served through
+    /// the tile cache — its first batches page weights in.
     ///
     /// # Panics
     /// Panics if `config` is invalid (see [`ServeConfig::validate`]).
     pub fn start(session: Arc<InferenceSession>, config: ServeConfig) -> Self {
+        let page_bytes = config.memory.map_or(ModelRegistry::DEFAULT_PAGE_BYTES, |m| m.page_bytes);
+        let mut registry = ModelRegistry::with_page_bytes(page_bytes);
+        registry.register("default", 1, session);
+        Self::start_registry(registry, config)
+    }
+
+    /// Starts a multi-model server hosting every model in `registry`.
+    /// Requests carry a [`ModelId`] (see [`Server::submit_model`]); batches
+    /// are model-pure; and with [`ServeConfig::memory`] set the models
+    /// share one VRAM budget, paging weight tiles on demand with the
+    /// transfer time charged to the batch that missed.
+    ///
+    /// All hosted models are priced on model 0's device profile (one
+    /// server simulates one accelerator).
+    ///
+    /// # Panics
+    /// Panics if `config` is invalid or the registry is empty.
+    pub fn start_registry(registry: ModelRegistry, config: ServeConfig) -> Self {
         config.validate();
+        assert!(!registry.is_empty(), "a server needs at least one registered model");
+        let memory_active = config.memory.is_some();
+        let models: Vec<ModelRuntime> = registry
+            .iter()
+            .map(|(_, entry)| ModelRuntime {
+                name: format!("{}@v{}", entry.name(), entry.version()),
+                session: Arc::clone(entry.session()),
+                dwell: entry.session().dwell_model(config.max_batch_size),
+                tiles: if memory_active { entry.tiles().to_vec() } else { Vec::new() },
+            })
+            .collect();
+        let memory = config.memory.map(|mem| {
+            let device = models[0].session.device();
+            let vram = mem.vram_bytes.unwrap_or(device.vram_bytes);
+            Arc::new(Mutex::new(TileCache::new(
+                MemoryPool::new(vram),
+                TransferCost::of(device),
+                mem.policy.build(),
+            )))
+        });
+        let models = Arc::new(models);
         let queue = Arc::new(PriorityQueue::new(config.classes.len(), config.queue_capacity));
         // One cost-model pricing pass up front; admission control and the
-        // batcher's SLO early-close both schedule against this table.
-        let dwell_model = session.dwell_model(config.max_batch_size);
+        // batcher's SLO early-close both schedule against this table.  With
+        // several hosted models the admission table is the per-batch-size
+        // *worst case* across them — conservative for every model.
+        let dwell_model = worst_case_dwell(&models, config.max_batch_size);
         let admission = AdmissionController::new(&config, &dwell_model);
         let batcher = Arc::new(SloBatcher::new(
             Arc::clone(&queue),
@@ -129,9 +179,10 @@ impl Server {
         ));
         let (tx, rx) = mpsc::channel();
         let pool =
-            WorkerPool::spawn(Arc::clone(&session), batcher, &config, &dwell_model, tx.clone());
+            WorkerPool::spawn(Arc::clone(&models), memory.clone(), batcher, &config, tx.clone());
         Self {
-            session,
+            models,
+            memory,
             queue,
             pool,
             admission,
@@ -146,9 +197,39 @@ impl Server {
         }
     }
 
-    /// The served model.
+    /// The served model (model 0 — the only one on a single-model server).
     pub fn session(&self) -> &Arc<InferenceSession> {
-        &self.session
+        &self.models[0].session
+    }
+
+    /// Number of hosted models.
+    pub fn num_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The hosted model names (`name@vN`), in [`ModelId`] order.
+    pub fn model_names(&self) -> Vec<String> {
+        self.models.iter().map(|m| m.name.clone()).collect()
+    }
+
+    /// Fraction of `model`'s weight bytes currently resident in VRAM — the
+    /// *warmth* probe residency-aware cluster routing ranks replicas by.
+    /// `1.0` when memory management is off (everything is always resident).
+    ///
+    /// # Panics
+    /// Panics if `model` is out of range.
+    pub fn model_warm_fraction(&self, model: ModelId) -> f64 {
+        let tiles = &self.models[model].tiles;
+        match &self.memory {
+            Some(cache) => cache.lock().expect("tile cache poisoned").resident_fraction(tiles),
+            None => 1.0,
+        }
+    }
+
+    /// Snapshot of the tile cache's lifetime counters; `None` when memory
+    /// management is off.
+    pub fn memory_stats(&self) -> Option<CacheStats> {
+        self.memory.as_ref().map(|cache| cache.lock().expect("tile cache poisoned").stats())
     }
 
     /// Number of worker threads.
@@ -180,21 +261,37 @@ impl Server {
         }
     }
 
-    /// Submits one request of `class`.  With admission control inactive
-    /// this blocks while the queue is full (backpressure); with it active
-    /// the call never blocks — the request is either queued or *shed*, and
-    /// every shed is recorded in the final report's shed log.  `Err` only
-    /// once shutdown has begun.
+    /// Submits one request of `class` against the default model (0).  See
+    /// [`Server::submit_model`].
     ///
     /// # Panics
     /// Panics if `class` is out of range or the payload length does not
-    /// match the model's input dim — malformed requests are rejected at
-    /// admission instead of inside a worker.
+    /// match model 0's input dim.
     pub fn submit_to(&self, class: ClassId, payload: Vec<f32>) -> Result<Admission, ServerClosed> {
+        self.submit_model(0, class, payload)
+    }
+
+    /// Submits one request of `class` against `model`.  With admission
+    /// control inactive this blocks while the queue is full
+    /// (backpressure); with it active the call never blocks — the request
+    /// is either queued or *shed*, and every shed is recorded in the final
+    /// report's shed log.  `Err` only once shutdown has begun.
+    ///
+    /// # Panics
+    /// Panics if `class` or `model` is out of range, or the payload length
+    /// does not match that model's input dim — malformed requests are
+    /// rejected at admission instead of inside a worker.
+    pub fn submit_model(
+        &self,
+        model: ModelId,
+        class: ClassId,
+        payload: Vec<f32>,
+    ) -> Result<Admission, ServerClosed> {
         assert!(class < self.classes.len(), "class {class} out of range");
+        assert!(model < self.models.len(), "model {model} out of range");
         assert_eq!(
             payload.len(),
-            self.session.input_dim(),
+            self.models[model].session.input_dim(),
             "request payload length must match the model input dim"
         );
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -204,7 +301,7 @@ impl Server {
             if let Some(reason) = self.admission.decide(total_depth, depth_ahead, policy) {
                 return Ok(Admission::Shed(self.record_shed(id, class, reason)));
             }
-            let request = InferenceRequest::classed(id, payload, class, policy.deadline);
+            let request = InferenceRequest::for_model(id, model, payload, class, policy.deadline);
             return match self.queue.try_push(class, request) {
                 Ok(()) => {
                     self.admitted.fetch_add(1, Ordering::Relaxed);
@@ -218,7 +315,7 @@ impl Server {
                 Err(PushError::Closed(_)) => Err(ServerClosed),
             };
         }
-        let request = InferenceRequest::classed(id, payload, class, policy.deadline);
+        let request = InferenceRequest::for_model(id, model, payload, class, policy.deadline);
         match self.queue.push(class, request) {
             Ok(()) => {
                 self.admitted.fetch_add(1, Ordering::Relaxed);
@@ -341,8 +438,8 @@ impl Server {
             "every admitted request must complete exactly once"
         );
         let backend_plan =
-            self.session.layer_backends().iter().map(|name| name.to_string()).collect();
-        let report = ServeReport::from_observations(
+            self.models[0].session.layer_backends().iter().map(|name| name.to_string()).collect();
+        let mut report = ServeReport::from_observations(
             &observations,
             &shed,
             &self.classes,
@@ -350,8 +447,59 @@ impl Server {
             worker_stats,
         )
         .with_backend_plan(backend_plan);
+        // Per-model cold-start rows, whenever paging or multi-tenancy is in
+        // play (single-model no-memory reports keep the legacy shape).
+        if self.memory.is_some() || self.models.len() > 1 {
+            let paging = self
+                .memory
+                .as_ref()
+                .map(|cache| cache.lock().expect("tile cache poisoned").model_stats().clone())
+                .unwrap_or_default();
+            let model_stats = self
+                .models
+                .iter()
+                .enumerate()
+                .map(|(id, runtime)| {
+                    let warm: Vec<f64> = observations
+                        .iter()
+                        .filter(|o| o.model == id && !o.cold)
+                        .map(|o| o.latency_s)
+                        .collect();
+                    let cold: Vec<f64> = observations
+                        .iter()
+                        .filter(|o| o.model == id && o.cold)
+                        .map(|o| o.latency_s)
+                        .collect();
+                    let paged = paging.get(&id).cloned().unwrap_or_default();
+                    ModelStats {
+                        model: id,
+                        name: runtime.name.clone(),
+                        completed: warm.len() + cold.len(),
+                        cold: cold.len(),
+                        warm_latency: LatencySummary::from_samples(warm),
+                        cold_latency: LatencySummary::from_samples(cold),
+                        tile_hits: paged.hits,
+                        tile_misses: paged.misses,
+                        bytes_paged: paged.bytes_transferred,
+                        transfer_sim_s: paged.transfer_seconds,
+                    }
+                })
+                .collect();
+            report = report.with_model_stats(model_stats);
+        }
         (report, responses)
     }
+}
+
+/// The admission/batcher dwell table of a multi-model server: the
+/// per-batch-size worst case across every hosted model, so wait prediction
+/// and SLO early-close stay conservative for all of them.
+fn worst_case_dwell(models: &[ModelRuntime], max_batch: usize) -> DwellModel {
+    DwellModel::from_seconds(
+        (1..=max_batch)
+            .map(|b| models.iter().map(|m| m.dwell.seconds_for(b)).fold(0.0, f64::max))
+            .collect(),
+    )
 }
 
 /// Error returned by [`Server::submit`] once shutdown has begun.
@@ -413,6 +561,60 @@ pub fn serve_open_loop(
         }
         server
             .submit_to(arrival.class, arrival.payload.clone())
+            .expect("open-loop submit before shutdown");
+    }
+    server.shutdown()
+}
+
+/// [`serve_closed_loop`] over a multi-model registry: payload `i` targets
+/// `assignment[i % assignment.len()]` under blocking backpressure.  The
+/// same backpressure contract as the single-model harness applies.
+///
+/// # Panics
+/// Panics on an empty assignment, or payloads/models that do not fit the
+/// registry (see [`Server::submit_model`]).
+pub fn serve_closed_loop_models(
+    registry: ModelRegistry,
+    config: ServeConfig,
+    payloads: Vec<Vec<f32>>,
+    assignment: &[ModelId],
+) -> (ServeReport, Vec<InferenceResponse>) {
+    assert!(!assignment.is_empty(), "model assignment cannot be empty");
+    let server = Server::start_registry(registry, config);
+    for (i, payload) in payloads.into_iter().enumerate() {
+        server
+            .submit_model(assignment[i % assignment.len()], 0, payload)
+            .expect("closed-loop submit before shutdown");
+    }
+    server.shutdown()
+}
+
+/// [`serve_open_loop`] over a multi-model registry: arrival `i` targets
+/// `assignment[i % assignment.len()]` at its scheduled offset.  The same
+/// arrival-clock caveat as the single-model harness applies: activate
+/// admission control, or size `queue_capacity` for the offered load, when
+/// the clock must be honored under overload.
+///
+/// # Panics
+/// Panics on an empty assignment, or arrivals whose class, model or
+/// payload does not fit the config.
+pub fn serve_open_loop_models(
+    registry: ModelRegistry,
+    config: ServeConfig,
+    schedule: &[Arrival],
+    assignment: &[ModelId],
+) -> (ServeReport, Vec<InferenceResponse>) {
+    assert!(!assignment.is_empty(), "model assignment cannot be empty");
+    let server = Server::start_registry(registry, config);
+    let started = Instant::now();
+    for (i, arrival) in schedule.iter().enumerate() {
+        let target = started + arrival.at;
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        server
+            .submit_model(assignment[i % assignment.len()], arrival.class, arrival.payload.clone())
             .expect("open-loop submit before shutdown");
     }
     server.shutdown()

@@ -143,6 +143,26 @@ impl<T> PriorityQueue<T> {
         item
     }
 
+    /// Dequeues from lanes *strictly higher priority* than `lane`
+    /// (`0..lane`), immediately if such an item is available — the probe a
+    /// consumer holding lower-priority deferred work uses to keep strict
+    /// priority intact.  `lane == 0` can never yield anything.
+    ///
+    /// # Panics
+    /// Panics if `lane` exceeds the lane count.
+    pub fn try_pop_before(&self, lane: usize) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        assert!(lane <= state.lanes.len(), "lane {lane} out of range");
+        for higher in &mut state.lanes[..lane] {
+            if let Some(item) = higher.pop_front() {
+                state.len -= 1;
+                self.not_full.notify_one();
+                return Some(item);
+            }
+        }
+        None
+    }
+
     /// Dequeues, waiting up to `timeout` for an item.  Items still queued at
     /// close time are drained before [`Pop::Closed`] is reported.
     pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
@@ -272,6 +292,22 @@ mod tests {
         assert_eq!(q.depths(1), (5, 5), "everything is ahead of a new lane-1 arrival");
         assert_eq!(q.try_pop(), Some(1), "interactive must jump the batch backlog");
         assert_eq!(q.lane_len(1), 4);
+    }
+
+    #[test]
+    fn try_pop_before_only_yields_strictly_higher_priority() {
+        let q = PriorityQueue::new(3, 16);
+        q.push(1, 10).unwrap();
+        q.push(2, 20).unwrap();
+        // Nothing outranks lane 0; lane 1 work does not outrank itself.
+        assert_eq!(q.try_pop_before(0), None);
+        assert_eq!(q.try_pop_before(1), None);
+        // Lane-1 work outranks a lane-2 holder.
+        assert_eq!(q.try_pop_before(2), Some(10));
+        assert_eq!(q.try_pop_before(2), None, "lane 2 itself is not eligible");
+        assert_eq!(q.len(), 1);
+        q.push(0, 0).unwrap();
+        assert_eq!(q.try_pop_before(1), Some(0));
     }
 
     #[test]

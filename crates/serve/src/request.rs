@@ -1,6 +1,7 @@
 //! Request and response types flowing through the serving runtime.
 
 use std::time::{Duration, Instant};
+pub use tw_memory::ModelId;
 
 /// Index into the server's configured class list (`0` = highest priority).
 pub type ClassId = usize;
@@ -16,21 +17,36 @@ pub struct InferenceRequest {
     pub submitted_at: Instant,
     /// Request class (priority lane + SLO policy).
     pub class: ClassId,
+    /// The model the request targets (index into the server's registry;
+    /// `0` on a single-model server).
+    pub model: ModelId,
     /// Absolute completion deadline derived from the class SLO; `None` =
     /// best effort.
     pub deadline: Option<Instant>,
 }
 
 impl InferenceRequest {
-    /// A best-effort request of the default class, submitted now.
+    /// A best-effort request of the default class and model, submitted now.
     pub fn new(id: u64, payload: Vec<f32>) -> Self {
         Self::classed(id, payload, 0, None)
     }
 
-    /// A request of `class`, submitted now, due `slo` from now (if any).
+    /// A request of `class` against the default model, submitted now, due
+    /// `slo` from now (if any).
     pub fn classed(id: u64, payload: Vec<f32>, class: ClassId, slo: Option<Duration>) -> Self {
+        Self::for_model(id, 0, payload, class, slo)
+    }
+
+    /// The fully general constructor: a request of `class` against `model`.
+    pub fn for_model(
+        id: u64,
+        model: ModelId,
+        payload: Vec<f32>,
+        class: ClassId,
+        slo: Option<Duration>,
+    ) -> Self {
         let submitted_at = Instant::now();
-        Self { id, payload, submitted_at, class, deadline: slo.map(|d| submitted_at + d) }
+        Self { id, payload, submitted_at, class, model, deadline: slo.map(|d| submitted_at + d) }
     }
 }
 
@@ -49,6 +65,11 @@ pub struct InferenceResponse {
     pub worker: usize,
     /// Class of the originating request.
     pub class: ClassId,
+    /// Model the request was served by.
+    pub model: ModelId,
+    /// Whether the batch this request rode in had to page weight tiles in
+    /// (a *cold* batch) — always `false` when memory management is off.
+    pub cold: bool,
     /// Whether the response beat its deadline; `None` for classes without
     /// an SLO.
     pub deadline_met: Option<bool>,
@@ -99,6 +120,7 @@ mod tests {
         assert_eq!(req.id, 7);
         assert_eq!(req.payload.len(), 2);
         assert_eq!(req.class, 0);
+        assert_eq!(req.model, 0);
         assert_eq!(req.deadline, None);
         assert!(req.submitted_at >= before);
         assert!(req.submitted_at.elapsed() < Duration::from_secs(1));
@@ -111,5 +133,14 @@ mod tests {
         assert_eq!(req.class, 1);
         let deadline = req.deadline.expect("slo => deadline");
         assert_eq!(deadline, req.submitted_at + slo);
+    }
+
+    #[test]
+    fn model_requests_carry_their_target() {
+        let req = InferenceRequest::for_model(5, 2, vec![0.0; 3], 1, None);
+        assert_eq!(req.model, 2);
+        assert_eq!(req.class, 1);
+        // The classed/default constructors target model 0.
+        assert_eq!(InferenceRequest::classed(6, vec![0.0], 1, None).model, 0);
     }
 }

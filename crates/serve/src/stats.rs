@@ -64,8 +64,16 @@ pub struct WorkerStats {
     pub requests: usize,
     /// Wall time spent in CPU kernel execution.
     pub cpu_busy: Duration,
-    /// Simulated device seconds this worker's batches were priced at.
+    /// Simulated device seconds this worker's batches were priced at
+    /// (kernel time only; paging time is [`WorkerStats::transfer_sim_s`]).
     pub sim_gpu_s: f64,
+    /// Simulated PCIe seconds this worker's cold batches paid paging
+    /// weight tiles in.
+    pub transfer_sim_s: f64,
+    /// Bytes this worker's batches paged host→device.
+    pub bytes_paged: u64,
+    /// Batches that had to page at least one tile in.
+    pub cold_batches: usize,
 }
 
 /// One completed request's contribution to the report: its class, latency,
@@ -76,6 +84,10 @@ pub struct WorkerStats {
 pub struct RunObservation {
     /// Class of the completed request.
     pub class: usize,
+    /// Model that served the request.
+    pub model: usize,
+    /// Whether the request's batch had to page weight tiles in.
+    pub cold: bool,
     /// Submission-to-completion latency in seconds.
     pub latency_s: f64,
     /// Deadline outcome (`None` for classes without an SLO).
@@ -87,6 +99,8 @@ impl RunObservation {
     pub fn of(response: &InferenceResponse) -> Self {
         Self {
             class: response.class,
+            model: response.model,
+            cold: response.cold,
             latency_s: response.latency.as_secs_f64(),
             deadline_met: response.deadline_met,
         }
@@ -135,6 +149,71 @@ impl ClassStats {
     }
 }
 
+/// Per-model outcome breakdown: the cold-start story.  A request is *cold*
+/// when its batch had to page weight tiles in over PCIe; the split
+/// latency summaries make cold-start vs warm latency directly visible, and
+/// the tile counters quantify the paging traffic behind it.
+#[derive(Clone, Debug)]
+pub struct ModelStats {
+    /// Model id (index into the server's registry).
+    pub model: usize,
+    /// Model name (`name@version` style naming is up to the registrant).
+    pub name: String,
+    /// Requests this model completed.
+    pub completed: usize,
+    /// Completions whose batch paged tiles in.
+    pub cold: usize,
+    /// Latency order statistics over warm completions.
+    pub warm_latency: LatencySummary,
+    /// Latency order statistics over cold completions.
+    pub cold_latency: LatencySummary,
+    /// Weight-tile cache hits for this model.
+    pub tile_hits: u64,
+    /// Weight-tile cache misses for this model.
+    pub tile_misses: u64,
+    /// Bytes paged host→device for this model.
+    pub bytes_paged: u64,
+    /// Simulated PCIe seconds charged to this model's batches.
+    pub transfer_sim_s: f64,
+}
+
+impl ModelStats {
+    /// Fraction of tile lookups that hit (1.0 when the model was never
+    /// paged, i.e. memory management off or no traffic).
+    pub fn tile_hit_rate(&self) -> f64 {
+        let total = self.tile_hits + self.tile_misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.tile_hits as f64 / total as f64
+    }
+
+    /// Fraction of completions that rode a cold batch.
+    pub fn cold_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.cold as f64 / self.completed as f64
+    }
+
+    /// The one-line cold-start view of this model — shared by the
+    /// single-server and cluster report printers so the two cannot drift.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "model {} ({}): {} completed ({} cold, {:.1}%) | tile hit {:.1}% | paged {:.2} MiB | warm p99 {:.2}ms vs cold p99 {:.2}ms",
+            self.model,
+            self.name,
+            self.completed,
+            self.cold,
+            self.cold_rate() * 100.0,
+            self.tile_hit_rate() * 100.0,
+            self.bytes_paged as f64 / (1 << 20) as f64,
+            self.warm_latency.p99_s * 1e3,
+            self.cold_latency.p99_s * 1e3,
+        )
+    }
+}
+
 /// The outcome of one serving run.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
@@ -156,6 +235,14 @@ pub struct ServeReport {
     pub workers: Vec<WorkerStats>,
     /// Total simulated device seconds across all batches.
     pub sim_gpu_s: f64,
+    /// Total simulated PCIe seconds spent paging weight tiles (zero when
+    /// memory management is off).
+    pub transfer_sim_s: f64,
+    /// Total bytes paged host→device across all batches.
+    pub bytes_paged: u64,
+    /// Per-model breakdowns, in registry order.  Empty for single-model
+    /// reports without memory management (the legacy shape).
+    pub models: Vec<ModelStats>,
     /// Resolved kernel family of each served layer, in layer order (empty
     /// when the report was built without a session, e.g. in unit tests).
     pub backend_plan: Vec<String>,
@@ -177,6 +264,8 @@ impl ServeReport {
     ) -> Self {
         let batches = workers.iter().map(|w| w.batches).sum();
         let sim_gpu_s = workers.iter().map(|w| w.sim_gpu_s).sum();
+        let transfer_sim_s = workers.iter().map(|w| w.transfer_sim_s).sum();
+        let bytes_paged = workers.iter().map(|w| w.bytes_paged).sum();
         Self {
             completed: latencies_s.len(),
             shed: 0,
@@ -186,6 +275,9 @@ impl ServeReport {
             batches,
             workers,
             sim_gpu_s,
+            transfer_sim_s,
+            bytes_paged,
+            models: Vec::new(),
             backend_plan: Vec::new(),
         }
     }
@@ -233,6 +325,12 @@ impl ServeReport {
         self
     }
 
+    /// Attaches per-model breakdowns (multi-model / paging servers).
+    pub fn with_model_stats(mut self, models: Vec<ModelStats>) -> Self {
+        self.models = models;
+        self
+    }
+
     /// Completed requests per wall-clock second.
     pub fn throughput_rps(&self) -> f64 {
         per_second(self.completed, self.wall)
@@ -277,8 +375,17 @@ impl ServeReport {
         } else {
             String::new()
         };
+        let paged = if self.bytes_paged > 0 {
+            format!(
+                " | paged {:.1} MiB ({:.3}s PCIe)",
+                self.bytes_paged as f64 / (1 << 20) as f64,
+                self.transfer_sim_s,
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{} requests in {:.3}s | {:.1} req/s ({:.1} good) | batch x̄ {:.2} | latency p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | sim-GPU {:.3}s{shed}{plan}",
+            "{} requests in {:.3}s | {:.1} req/s ({:.1} good) | batch x̄ {:.2} | latency p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | sim-GPU {:.3}s{paged}{shed}{plan}",
             self.completed,
             self.wall.as_secs_f64(),
             self.throughput_rps(),
@@ -310,6 +417,12 @@ impl ServeReport {
                 )
             })
             .collect()
+    }
+
+    /// One line per model: cold vs warm latency, tile hit rate and paging
+    /// traffic — the cold-start view the multi-model benchmarks print.
+    pub fn model_summary(&self) -> Vec<String> {
+        self.models.iter().map(ModelStats::summary_line).collect()
     }
 }
 
@@ -362,6 +475,8 @@ mod tests {
                 batch_size: 5,
                 worker: (i % 2) as usize,
                 class: 0,
+                model: 0,
+                cold: false,
                 deadline_met: None,
             })
             .collect();
@@ -370,15 +485,18 @@ mod tests {
                 worker: 0,
                 batches: 1,
                 requests: 5,
-                cpu_busy: Duration::ZERO,
                 sim_gpu_s: 0.5,
+                ..Default::default()
             },
             WorkerStats {
                 worker: 1,
                 batches: 1,
                 requests: 5,
-                cpu_busy: Duration::ZERO,
                 sim_gpu_s: 0.25,
+                transfer_sim_s: 0.1,
+                bytes_paged: 2048,
+                cold_batches: 1,
+                ..Default::default()
             },
         ];
         let report = ServeReport::new(&responses, Duration::from_secs(2), workers)
@@ -391,7 +509,10 @@ mod tests {
         assert_eq!(report.goodput_rps(), report.throughput_rps());
         assert!((report.mean_batch_size() - 5.0).abs() < 1e-12);
         assert!((report.sim_gpu_s - 0.75).abs() < 1e-12);
+        assert!((report.transfer_sim_s - 0.1).abs() < 1e-12);
+        assert_eq!(report.bytes_paged, 2048);
         assert!(report.summary().contains("req/s"));
+        assert!(report.summary().contains("paged"), "paging shows up: {}", report.summary());
     }
 
     #[test]
@@ -401,10 +522,34 @@ mod tests {
             ClassPolicy::best_effort("batch"),
         ];
         let observations = vec![
-            RunObservation { class: 0, latency_s: 0.010, deadline_met: Some(true) },
-            RunObservation { class: 0, latency_s: 0.080, deadline_met: Some(false) },
-            RunObservation { class: 1, latency_s: 0.200, deadline_met: None },
-            RunObservation { class: 1, latency_s: 0.400, deadline_met: None },
+            RunObservation {
+                class: 0,
+                model: 0,
+                cold: false,
+                latency_s: 0.010,
+                deadline_met: Some(true),
+            },
+            RunObservation {
+                class: 0,
+                model: 0,
+                cold: false,
+                latency_s: 0.080,
+                deadline_met: Some(false),
+            },
+            RunObservation {
+                class: 1,
+                model: 0,
+                cold: false,
+                latency_s: 0.200,
+                deadline_met: None,
+            },
+            RunObservation {
+                class: 1,
+                model: 0,
+                cold: false,
+                latency_s: 0.400,
+                deadline_met: None,
+            },
         ];
         let shed = vec![
             ShedRecord { id: 10, class: 0, reason: ShedReason::Deadline },
@@ -446,7 +591,7 @@ mod tests {
     }
 
     #[test]
-    fn observation_of_response_carries_class_and_outcome() {
+    fn observation_of_response_carries_class_model_and_outcome() {
         let response = InferenceResponse {
             id: 1,
             output: Vec::new(),
@@ -454,11 +599,56 @@ mod tests {
             batch_size: 4,
             worker: 0,
             class: 1,
+            model: 2,
+            cold: true,
             deadline_met: Some(true),
         };
         let obs = RunObservation::of(&response);
         assert_eq!(obs.class, 1);
+        assert_eq!(obs.model, 2);
+        assert!(obs.cold);
         assert_eq!(obs.deadline_met, Some(true));
         assert!((obs.latency_s - 0.030).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_stats_rates_and_summary_lines() {
+        let stats = ModelStats {
+            model: 0,
+            name: "bert".into(),
+            completed: 10,
+            cold: 4,
+            warm_latency: LatencySummary::from_samples(vec![0.002; 6]),
+            cold_latency: LatencySummary::from_samples(vec![0.009; 4]),
+            tile_hits: 90,
+            tile_misses: 10,
+            bytes_paged: 3 << 20,
+            transfer_sim_s: 0.25,
+        };
+        assert!((stats.tile_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((stats.cold_rate() - 0.4).abs() < 1e-12);
+        let report =
+            ServeReport::from_latencies(vec![0.002; 10], Duration::from_secs(1), Vec::new())
+                .with_model_stats(vec![stats]);
+        let lines = report.model_summary();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("bert"), "{}", lines[0]);
+        assert!(lines[0].contains("4 cold"), "{}", lines[0]);
+        assert!(lines[0].contains("tile hit 90.0%"), "{}", lines[0]);
+        // A model never paged reports a perfect hit rate, not a 0/0 NaN.
+        let untouched = ModelStats {
+            model: 1,
+            name: "idle".into(),
+            completed: 0,
+            cold: 0,
+            warm_latency: LatencySummary::from_samples(Vec::new()),
+            cold_latency: LatencySummary::from_samples(Vec::new()),
+            tile_hits: 0,
+            tile_misses: 0,
+            bytes_paged: 0,
+            transfer_sim_s: 0.0,
+        };
+        assert_eq!(untouched.tile_hit_rate(), 1.0);
+        assert_eq!(untouched.cold_rate(), 0.0);
     }
 }

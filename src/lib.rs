@@ -14,6 +14,7 @@
 pub use tilewise;
 pub use tw_cluster as cluster;
 pub use tw_gpu_sim as gpu_sim;
+pub use tw_memory as memory;
 pub use tw_models as models;
 pub use tw_pruning as pruning;
 pub use tw_serve as serve;
@@ -69,14 +70,17 @@ pub mod prelude {
         AutoscalerConfig, BalancerKind, Cluster, ClusterConfig, ClusterReport, LoadBalancer,
         Replica, ReplicaSpec,
     };
-    pub use tw_gpu_sim::{CoreKind, GpuDevice, KernelCounters};
+    pub use tw_gpu_sim::{CoreKind, GpuDevice, KernelCounters, TransferCost};
+    pub use tw_memory::{
+        EvictionPolicy, MemoryPool, ModelRegistry, PolicyKind, TileCache, TileKey, WeightTile,
+    };
     pub use tw_models::{
         Arrival, ArrivalProcess, ModelKind, RequestGenerator, TrafficClass, TrafficSpec, Workload,
     };
     pub use tw_pruning::{ImportanceScores, PruningPattern, SparsityTarget};
     pub use tw_serve::{
         serve_closed_loop, serve_open_loop, Admission, AdmissionConfig, ClassPolicy, GpuDwell,
-        ServeConfig, ServeReport, Server, ShedReason,
+        MemoryConfig, ServeConfig, ServeReport, Server, ShedReason,
     };
     pub use tw_sparse::{CscMatrix, CsrMatrix};
     pub use tw_tensor::{gemm, Matrix};

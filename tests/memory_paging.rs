@@ -1,0 +1,232 @@
+//! End-to-end pins for the tw-memory subsystem, with VRAM deliberately
+//! sized *below* the hosted models' combined footprint so weight tiles
+//! must page:
+//!
+//! (a) warm p99 < cold p99 for the same model and scenario — cold batches
+//!     pay the PCIe transfer as extra dwell, and the per-model report
+//!     splits the two populations;
+//! (b) the residency-aware balancer beats round-robin on interactive p99
+//!     in a 2-model 2-replica fleet — affinity routing stops the fleet
+//!     from thrashing tiles on every model switch;
+//! (c) id conservation (completed + shed == routed) holds with paging
+//!     enabled, shedding included.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tile_wise_repro::prelude::*;
+use tw_memory::PolicyKind;
+use tw_serve::{MemoryConfig, ServeConfig};
+
+const DIMS: [usize; 3] = [96, 96, 48];
+const SPARSITY: f64 = 0.5;
+const GRANULARITY: usize = 8;
+
+fn model_tiles(seed: u64) -> Vec<TileWiseMatrix> {
+    InferenceSession::synthetic_tiles(&DIMS, SPARSITY, GRANULARITY, seed)
+}
+
+fn session(seed: u64) -> Arc<InferenceSession> {
+    Arc::new(InferenceSession::new(model_tiles(seed), Backend::TileWise))
+}
+
+/// A dwell scale that stretches the model's simulated batch time to
+/// `target_ms` of wall clock — paging time (priced on the same simulated
+/// clock) stretches with it, so cold-start latency is measurable.
+fn time_scale_for(session: &InferenceSession, batch: usize, target_ms: f64) -> f64 {
+    target_ms * 1e-3 / session.simulated_batch_seconds(batch)
+}
+
+/// VRAM sized to hold ~1.25x one model: one model serves warm, two thrash.
+fn constrained_memory(footprint: u64) -> MemoryConfig {
+    MemoryConfig {
+        vram_bytes: Some(footprint + footprint / 4),
+        page_bytes: 4 * 1024,
+        policy: PolicyKind::Lru,
+    }
+}
+
+/// (a) Two models behind one server, VRAM below their combined footprint,
+/// traffic switching between them in blocks: every switch pages, so each
+/// model sees both cold and warm batches — and the warm ones are faster.
+#[test]
+fn warm_p99_beats_cold_p99_on_a_constrained_device() {
+    let sessions = [session(11), session(12)];
+    let footprint = sessions.iter().map(|s| s.resident_bytes() as u64).max().unwrap();
+    let combined: u64 = sessions.iter().map(|s| s.resident_bytes() as u64).sum();
+    let memory = constrained_memory(footprint);
+    assert!(
+        memory.vram_bytes.unwrap() < combined,
+        "the scenario only means something when both models cannot be resident at once"
+    );
+    let mut registry = ModelRegistry::with_page_bytes(memory.page_bytes);
+    for (i, s) in sessions.iter().enumerate() {
+        registry.register(format!("m{i}"), 1, Arc::clone(s));
+    }
+    let batch = 8;
+    let config = ServeConfig {
+        workers: 1,
+        max_batch_size: batch,
+        max_batch_wait: Duration::from_millis(1),
+        queue_capacity: 64,
+        gpu_dwell: Some(GpuDwell { time_scale: time_scale_for(&sessions[0], batch, 3.0) }),
+        memory: Some(memory),
+        ..ServeConfig::default()
+    };
+    let server = Server::start_registry(registry, config);
+
+    // 8 blocks per model, alternating, 4 batches per block: the block's
+    // first batch pages (cold), the next three find the model resident
+    // (warm).  Every batch is submitted only after the previous one fully
+    // drained, so a batch's latency is its own dwell (queue wait would
+    // otherwise smear the cold/warm split).
+    let (blocks, batches_per_block) = (16, 4);
+    let mut pending = 0usize;
+    for block in 0..blocks {
+        let model = block % 2;
+        for _ in 0..batches_per_block {
+            for _ in 0..batch {
+                server.submit_model(model, 0, vec![0.3; DIMS[0]]).unwrap();
+                pending += 1;
+            }
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            while pending > 0 {
+                assert!(std::time::Instant::now() < deadline, "pipeline stalled");
+                pending -= server.drain_responses().len();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    let (report, _) = server.shutdown();
+    assert_eq!(report.completed, blocks * batches_per_block * batch);
+    assert_eq!(report.models.len(), 2);
+    assert!(report.bytes_paged > combined, "16 switches must re-page far more than one copy");
+    for stats in &report.models {
+        assert!(stats.cold > 0, "{}: every switch begins cold", stats.name);
+        assert!(stats.cold < stats.completed, "{}: within a block batches run warm", stats.name);
+        assert!(
+            stats.tile_hit_rate() > 0.0 && stats.tile_hit_rate() < 1.0,
+            "{}: constrained VRAM means a mixed hit rate, got {}",
+            stats.name,
+            stats.tile_hit_rate()
+        );
+        assert!(
+            stats.warm_latency.p99_s < stats.cold_latency.p99_s,
+            "{}: warm p99 {:.2}ms must beat cold p99 {:.2}ms",
+            stats.name,
+            stats.warm_latency.p99_s * 1e3,
+            stats.cold_latency.p99_s * 1e3,
+        );
+    }
+}
+
+/// Drives one 2-model 2-replica fleet (VRAM per replica holds one model)
+/// through the same blocked, paced submission trace and returns its report.
+fn run_fleet(balancer: BalancerKind, requests_per_block: usize, blocks: usize) -> ClusterReport {
+    let models = vec![("m0".to_string(), model_tiles(21)), ("m1".to_string(), model_tiles(22))];
+    let probe = Arc::new(InferenceSession::new(models[0].1.clone(), Backend::TileWise));
+    let footprint = probe.resident_bytes() as u64;
+    let batch = 8;
+    let config = ClusterConfig {
+        max_batch_size: batch,
+        max_batch_wait: Duration::from_millis(1),
+        queue_capacity: 256,
+        balancer,
+        memory: Some(constrained_memory(footprint)),
+        ..ClusterConfig::default()
+    }
+    .with_classes(vec![ClassPolicy::with_deadline("interactive", Duration::from_secs(30))]);
+    let specs: Vec<ReplicaSpec> = (0..2)
+        .map(|i| {
+            let mut spec = ReplicaSpec::v100(format!("r{i}"), 1, Backend::TileWise, 0.0);
+            spec.time_scale = time_scale_for(&probe, batch, 3.0);
+            spec
+        })
+        .collect();
+    let mut cluster = Cluster::start_models(models, specs, config);
+    for block in 0..blocks {
+        let model = block % 2;
+        for _ in 0..requests_per_block {
+            cluster.submit_model(model, 0, vec![0.3; DIMS[0]]).unwrap();
+        }
+        // Pace by draining, so latency measures dwell (kernel + paging),
+        // not the submission burst's queueing — identically for both
+        // policies under comparison.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while cluster.queue_depth() > 0 {
+            assert!(std::time::Instant::now() < deadline, "fleet stalled");
+            std::thread::yield_now();
+        }
+    }
+    cluster.shutdown()
+}
+
+/// (b) Residency-aware affinity routing beats round-robin on interactive
+/// p99 when two models share a fleet whose per-replica VRAM holds only one
+/// of them: round-robin pages both models on both replicas at every block
+/// switch, residency routing gives each model a warm home.
+#[test]
+fn residency_balancer_beats_round_robin_on_interactive_p99() {
+    let rr = run_fleet(BalancerKind::RoundRobin, 8, 16);
+    let residency = run_fleet(BalancerKind::ResidencyAware, 8, 16);
+    assert_eq!(rr.completed, 16 * 8);
+    assert_eq!(residency.completed, 16 * 8);
+    // The mechanism: affinity pages an order of magnitude fewer bytes...
+    assert!(
+        residency.bytes_paged() < rr.bytes_paged() / 2,
+        "affinity must stop the tile thrash: residency paged {} vs rr {}",
+        residency.bytes_paged(),
+        rr.bytes_paged(),
+    );
+    // ...and the interactive class feels it at the tail.
+    let rr_p99 = rr.classes[0].latency.p99_s;
+    let residency_p99 = residency.classes[0].latency.p99_s;
+    assert!(
+        residency_p99 < rr_p99,
+        "residency interactive p99 {:.2}ms must beat round-robin {:.2}ms",
+        residency_p99 * 1e3,
+        rr_p99 * 1e3,
+    );
+    // Per-model fleet rows exist and carry the paging split.
+    assert_eq!(residency.models.len(), 2);
+    assert!(residency.models.iter().all(|m| m.completed > 0));
+}
+
+/// (c) Id conservation survives paging + admission shedding: a burst far
+/// over a depth bound sheds, and completed + shed still covers every
+/// routed id (the per-replica and fleet-wide asserts run in shutdown; this
+/// pins the observable numbers).
+#[test]
+fn id_conservation_holds_with_paging_and_shedding() {
+    let models = vec![("m0".to_string(), model_tiles(31)), ("m1".to_string(), model_tiles(32))];
+    let probe = Arc::new(InferenceSession::new(models[0].1.clone(), Backend::TileWise));
+    let footprint = probe.resident_bytes() as u64;
+    let config = ClusterConfig {
+        max_batch_size: 4,
+        max_batch_wait: Duration::from_millis(1),
+        queue_capacity: 64,
+        admission: AdmissionConfig { max_queue_depth: Some(6), ..Default::default() },
+        balancer: BalancerKind::ResidencyAware,
+        memory: Some(constrained_memory(footprint)),
+        ..ClusterConfig::default()
+    };
+    let specs: Vec<ReplicaSpec> = (0..2)
+        .map(|i| {
+            let mut spec = ReplicaSpec::v100(format!("r{i}"), 1, Backend::TileWise, 0.0);
+            spec.time_scale = time_scale_for(&probe, 4, 5.0);
+            spec
+        })
+        .collect();
+    let mut cluster = Cluster::start_models(models, specs, config);
+    let total = 300;
+    for i in 0..total {
+        cluster.submit_model(i % 2, 0, vec![0.1; DIMS[0]]).unwrap();
+    }
+    let report = cluster.shutdown();
+    assert_eq!(report.completed + report.shed, total, "no id may vanish under paging");
+    assert!(report.shed > 0, "a depth bound of 6 under a full-speed burst must shed");
+    assert!(report.completed > 0);
+    assert!(report.bytes_paged() > 0, "paging was active");
+    let by_replica: usize =
+        report.replicas.iter().map(|r| r.report.completed + r.report.shed).sum();
+    assert_eq!(by_replica, total, "per-replica accounting covers the run");
+}

@@ -1,0 +1,137 @@
+//! Property tests for `tw-memory`'s tile cache — the invariants every
+//! paging report builds on, pinned across randomized traces and seeds:
+//!
+//! 1. **Pinned tiles are never evicted**, no matter how hard unpinned
+//!    traffic squeezes the pool, under every eviction policy.
+//! 2. **LRU hit rate is monotone non-decreasing in cache capacity** on a
+//!    replayed trace.  LRU is a stack algorithm (with uniform tile sizes
+//!    its resident set at capacity C is a subset of the set at C' > C), so
+//!    growing VRAM can only convert misses to hits — the property that
+//!    makes "add VRAM" a safe operational lever.  (Cost-aware eviction is
+//!    deliberately *not* pinned here: it trades the inclusion property for
+//!    reload-cost awareness.)
+//! 3. **Byte conservation**: bytes transferred in == bytes evicted + bytes
+//!    resident, at every point of every trace — no byte is dropped or
+//!    double-counted, mirroring the serving layer's id conservation.
+
+use proptest::prelude::*;
+use tile_wise_repro::prelude::*;
+use tw_gpu_sim::TransferCost;
+use tw_memory::PolicyKind;
+
+/// Uniform tile size for the monotonicity property (LRU's inclusion
+/// property needs uniform sizes; variable sizes are exercised elsewhere).
+const TILE_BYTES: u64 = 1024;
+
+fn tile(model: usize, layer: usize, index: usize, bytes: u64) -> WeightTile {
+    WeightTile { key: TileKey { model, layer, tile: index }, bytes }
+}
+
+fn cache(capacity: u64, policy: PolicyKind) -> TileCache {
+    TileCache::new(MemoryPool::new(capacity), TransferCost::new(1.0e9, 5.0e-6), policy.build())
+}
+
+/// Replays `trace` (tile indices into a uniform-size universe) through an
+/// acquire/release cache of `capacity` and returns the final hit rate.
+fn replay_hit_rate(trace: &[usize], capacity: u64, policy: PolicyKind) -> f64 {
+    let mut c = cache(capacity, policy);
+    for &t in trace {
+        let tiles = [tile(0, 0, t, TILE_BYTES)];
+        c.acquire(&tiles);
+        c.release(&tiles);
+    }
+    c.stats().hit_rate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pinned tiles survive arbitrary eviction pressure under both
+    /// policies; conservation holds with pins in play.
+    #[test]
+    fn pinned_tiles_are_never_evicted(
+        seed in any::<u64>(),
+        trace in prop::collection::vec(0usize..64, 50..200),
+    ) {
+        for policy in PolicyKind::ALL {
+            // Capacity holds the pinned set plus one extra tile, so every
+            // unpinned acquire forces eviction decisions.
+            let pinned: Vec<WeightTile> =
+                (0..4).map(|i| tile(9, 0, i, TILE_BYTES)).collect();
+            let mut c = cache(5 * TILE_BYTES, policy);
+            c.acquire(&pinned);
+            for (step, &t) in trace.iter().enumerate() {
+                // Vary sizes a little (deterministic per tile) — pinning
+                // must hold regardless of shape.
+                let bytes = TILE_BYTES + ((t as u64 * 131 + seed % 7) % TILE_BYTES);
+                let tiles = [tile(0, step % 3, t, bytes)];
+                c.acquire(&tiles);
+                c.release(&tiles);
+                for p in &pinned {
+                    prop_assert!(
+                        c.contains(p.key),
+                        "{policy}: pinned {} evicted at step {step}", p.key
+                    );
+                }
+            }
+            let stats = c.stats();
+            prop_assert!(
+                stats.bytes_transferred == stats.bytes_evicted + c.resident_bytes(),
+                "{policy}: conservation with pins"
+            );
+            c.release(&pinned);
+        }
+    }
+
+    /// LRU: growing the cache never lowers the hit rate on the same trace.
+    #[test]
+    fn lru_hit_rate_is_monotone_in_capacity(
+        trace in prop::collection::vec(0usize..48, 100..400),
+    ) {
+        // Sweep capacities from a few tiles to the whole universe.
+        let capacities: Vec<u64> =
+            [4u64, 8, 16, 24, 32, 48].iter().map(|n| n * TILE_BYTES).collect();
+        let rates: Vec<f64> = capacities
+            .iter()
+            .map(|&cap| replay_hit_rate(&trace, cap, PolicyKind::Lru))
+            .collect();
+        for pair in rates.windows(2) {
+            prop_assert!(
+                pair[1] >= pair[0] - 1e-12,
+                "hit rate dropped when capacity grew: {rates:?}"
+            );
+        }
+    }
+
+    /// Conservation across seeds, policies and variable tile sizes:
+    /// bytes in == bytes evicted + bytes resident, and the per-model
+    /// counters sum to the global ones.
+    #[test]
+    fn byte_conservation_holds_across_seeds(
+        seed in any::<u64>(),
+        trace in prop::collection::vec((0usize..3, 0usize..40), 50..300),
+    ) {
+        for policy in PolicyKind::ALL {
+            let mut c = cache(24 * TILE_BYTES, policy);
+            for &(model, t) in &trace {
+                let bytes = 256 + ((t as u64).wrapping_mul(seed | 1) % (2 * TILE_BYTES));
+                let tiles = [tile(model, 0, t, bytes)];
+                c.acquire(&tiles);
+                c.release(&tiles);
+                let stats = c.stats();
+                prop_assert!(
+                    stats.bytes_transferred == stats.bytes_evicted + c.resident_bytes(),
+                    "{policy}: conservation broke mid-trace"
+                );
+            }
+            let stats = c.stats();
+            let per_model_hits: u64 = c.model_stats().values().map(|m| m.hits).sum();
+            let per_model_misses: u64 = c.model_stats().values().map(|m| m.misses).sum();
+            let per_model_bytes: u64 =
+                c.model_stats().values().map(|m| m.bytes_transferred).sum();
+            prop_assert_eq!(per_model_hits, stats.hits);
+            prop_assert_eq!(per_model_misses, stats.misses);
+            prop_assert_eq!(per_model_bytes, stats.bytes_transferred);
+        }
+    }
+}
